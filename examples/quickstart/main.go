@@ -1,0 +1,63 @@
+// Quickstart: build a NoC-sprinting system with the paper's default
+// configuration (16 cores, 4×4 mesh), react to a compute burst from one
+// workload, and print what the sprint controller decided.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocsprint/internal/core"
+	"nocsprint/internal/workload"
+)
+
+func main() {
+	// A Sprinter bundles Algorithm 1 (activation order), Algorithm 2
+	// (CDOR routing), Algorithms 3-4 (thermal-aware floorplan), network
+	// power gating, and the power/thermal models.
+	sprinter, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A short burst of dedup arrives. How should the chip sprint?
+	dedup, err := workload.ByName("dedup")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("activation order (Algorithm 1):", sprinter.ActivationOrder())
+
+	for _, scheme := range core.Schemes() {
+		d, err := sprinter.Decide(dedup, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s level=%2d  exec=%.3fs  speedup=%.2fx  core power=%5.1fW  chip=%5.1fW  routers on=%d\n",
+			d.Scheme, d.Level, d.ExecSeconds, d.Speedup, d.CorePowerW, d.Chip.Total(), d.NoCTilesOn)
+	}
+
+	// The chosen sprint region and its connectivity bits.
+	d, err := sprinter.Decide(dedup, core.NoCSprinting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := sprinter.Region(d.Level)
+	fmt.Printf("\nsprint region (level %d): active nodes %v\n", d.Level, region.ActiveNodes())
+	for _, id := range region.ActiveNodes() {
+		cw, ce := region.ConnectivityBits(id)
+		fmt.Printf("  router %2d: Cw=%v Ce=%v\n", id, cw, ce)
+	}
+
+	// And the thermal payoff: how much longer can this sprint last?
+	phFull, _, err := sprinter.SprintThermal(dedup, core.FullSprinting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phNoC, _, err := sprinter.SprintThermal(dedup, core.NoCSprinting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsprint duration: full %.2fs vs NoC-sprinting %.2fs (+%.0f%%)\n",
+		phFull.Total(), phNoC.Total(), 100*(phNoC.Total()/phFull.Total()-1))
+}

@@ -1,0 +1,72 @@
+// Thermal study (the Figure 12 / Section 4.4 scenario): steady-state heat
+// maps for full-sprinting versus 4-core NoC-sprinting with and without the
+// thermal-aware floorplan, plus the Figure 1 sprint timeline with the
+// phase-change material plateau.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocsprint/internal/core"
+	"nocsprint/internal/workload"
+)
+
+func main() {
+	sprinter, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := sprinter.Config().Grid
+
+	dedup, err := workload.ByName("dedup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	level := sprinter.Level(dedup, core.NoCSprinting)
+	fmt.Printf("case study: dedup, optimal sprint level %d\n", level)
+
+	cases := []struct {
+		name      string
+		level     int
+		scheme    core.Scheme
+		floorplan bool
+	}{
+		{"full-sprinting (16 cores)", 16, core.FullSprinting, false},
+		{"NoC-sprinting, clustered placement", level, core.NoCSprinting, false},
+		{"NoC-sprinting, thermal-aware floorplan", level, core.NoCSprinting, true},
+	}
+	for _, c := range cases {
+		hm, err := sprinter.HeatMap(c.level, c.scheme, c.floorplan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak, _, _ := hm.Peak()
+		fmt.Printf("\n%s: peak %.2f K\n", c.name, peak)
+		for ty := 0; ty < grid.H; ty++ {
+			for tx := 0; tx < grid.W; tx++ {
+				fmt.Printf(" %6.1f", hm.TileMean(tx, ty, grid.Sub))
+			}
+			fmt.Println()
+		}
+	}
+
+	// The Figure 1 timeline: temperature rise, PCM melt plateau, rise to
+	// the junction limit.
+	_, dec, err := sprinter.SprintThermal(dedup, core.NoCSprinting)
+	if err != nil {
+		log.Fatal(err)
+	}
+	powerW := dec.Chip.Total() + sprinter.Config().SprintUncoreW
+	lumped := sprinter.Config().Lumped
+	samples, err := lumped.Timeline(powerW, 1e-4, 10, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsprint timeline at %.1f W (melt %.1f K, limit %.1f K):\n",
+		powerW, lumped.PCM.MeltK, lumped.MaxK)
+	fmt.Println("  t(s)   T(K)    PCM melted")
+	for _, s := range samples {
+		fmt.Printf("  %5.2f  %6.2f  %5.1f%%\n", s.TimeS, s.TempK, s.MeltFraction*100)
+	}
+}

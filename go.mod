@@ -1,0 +1,3 @@
+module nocsprint
+
+go 1.22

@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stream generates a synthetic per-core memory reference stream with the
+// three knobs that matter for cache/NoC traffic: spatial locality
+// (sequential-run probability), working-set size (private region), and
+// sharing (fraction of references into a region common to all cores).
+type Stream struct {
+	rng *rand.Rand
+	// privateLines / sharedLines size the two regions in cache lines.
+	privateLines, sharedLines uint64
+	// privateBase / sharedBase are the regions' first line addresses.
+	privateBase, sharedBase uint64
+	// seqProb is the probability the next reference continues the current
+	// sequential run.
+	seqProb float64
+	// sharedProb is the probability a new run starts in the shared region.
+	sharedProb float64
+	// writeProb is the store fraction.
+	writeProb float64
+
+	cur      uint64
+	runLeft  bool
+	inShared bool
+}
+
+// StreamParams configures a Stream.
+type StreamParams struct {
+	// WorkingSetLines is the per-core private working set in lines.
+	WorkingSetLines uint64
+	// SharedLines is the size of the region shared by all cores.
+	SharedLines uint64
+	// SeqProb, SharedProb, WriteProb are the locality/sharing/store knobs.
+	SeqProb, SharedProb, WriteProb float64
+	// PrivateBase separates per-core address spaces (caller supplies a
+	// distinct base per core; the shared region sits at line 0).
+	PrivateBase uint64
+	// Seed drives the stream.
+	Seed int64
+}
+
+// Validate reports the first invalid field, or nil.
+func (p StreamParams) Validate() error {
+	switch {
+	case p.WorkingSetLines < 1:
+		return fmt.Errorf("cache: working set must be >= 1 line")
+	case p.SharedLines < 1:
+		return fmt.Errorf("cache: shared region must be >= 1 line")
+	case p.SeqProb < 0 || p.SeqProb >= 1:
+		return fmt.Errorf("cache: sequential probability %g outside [0,1)", p.SeqProb)
+	case p.SharedProb < 0 || p.SharedProb > 1:
+		return fmt.Errorf("cache: shared probability %g outside [0,1]", p.SharedProb)
+	case p.WriteProb < 0 || p.WriteProb > 1:
+		return fmt.Errorf("cache: write probability %g outside [0,1]", p.WriteProb)
+	case p.PrivateBase < p.SharedLines:
+		return fmt.Errorf("cache: private base %d overlaps shared region", p.PrivateBase)
+	}
+	return nil
+}
+
+// NewStream builds a stream. The shared region occupies lines
+// [0, SharedLines); the private region [PrivateBase, PrivateBase+WorkingSetLines).
+func NewStream(p StreamParams) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		rng:          rand.New(rand.NewSource(p.Seed)),
+		privateLines: p.WorkingSetLines,
+		sharedLines:  p.SharedLines,
+		privateBase:  p.PrivateBase,
+		sharedBase:   0,
+		seqProb:      p.SeqProb,
+		sharedProb:   p.SharedProb,
+		writeProb:    p.WriteProb,
+	}
+	s.cur = s.privateBase
+	return s, nil
+}
+
+// Next returns the next reference as a line address plus a write flag.
+func (s *Stream) Next() (lineAddr uint64, write bool) {
+	if s.runLeft && s.rng.Float64() < s.seqProb {
+		// Continue the sequential run within the current region.
+		s.cur++
+		if s.inShared {
+			if s.cur >= s.sharedBase+s.sharedLines {
+				s.cur = s.sharedBase
+			}
+		} else if s.cur >= s.privateBase+s.privateLines {
+			s.cur = s.privateBase
+		}
+	} else {
+		// Start a new run.
+		s.runLeft = true
+		s.inShared = s.rng.Float64() < s.sharedProb
+		if s.inShared {
+			s.cur = s.sharedBase + uint64(s.rng.Int63n(int64(s.sharedLines)))
+		} else {
+			s.cur = s.privateBase + uint64(s.rng.Int63n(int64(s.privateLines)))
+		}
+	}
+	return s.cur, s.rng.Float64() < s.writeProb
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nocsprint/internal/power"
+	"nocsprint/internal/workload"
+)
+
+func newSprinter(t *testing.T) *Sprinter {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fastSim keeps unit-test simulations short.
+var fastSim = NetSimParams{Warmup: 300, Measure: 1000, Drain: 10000}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidateCatchesErrors(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.NoC.VCs = 0 },
+		func(c *Config) { c.Master = -1 },
+		func(c *Config) { c.Master = 99 },
+		func(c *Config) { c.Corner.VDD = 0 },
+		func(c *Config) { c.Lumped.RthKperW = 0 },
+		func(c *Config) { c.Grid.Sub = 0 },
+		func(c *Config) { c.Grid.W = 7 },
+	}
+	for i, mut := range muts {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{
+		NonSprinting: "non-sprinting", FullSprinting: "full-sprinting",
+		FineGrained: "fine-grained", NoCSprinting: "NoC-sprinting",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d stringifies to %q", int(s), s.String())
+		}
+	}
+	if Scheme(9).String() == "" || len(Schemes()) != 4 {
+		t.Error("scheme enumeration broken")
+	}
+}
+
+func TestLevelPerScheme(t *testing.T) {
+	s := newSprinter(t)
+	dedup, err := workload.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Level(dedup, NonSprinting); got != 1 {
+		t.Errorf("non-sprinting level = %d", got)
+	}
+	if got := s.Level(dedup, FullSprinting); got != 16 {
+		t.Errorf("full-sprinting level = %d", got)
+	}
+	if got := s.Level(dedup, NoCSprinting); got != 4 {
+		t.Errorf("NoC-sprinting level for dedup = %d, want 4", got)
+	}
+	if got := s.Level(dedup, FineGrained); got != 4 {
+		t.Errorf("fine-grained level for dedup = %d, want 4", got)
+	}
+}
+
+func TestDecideOrderings(t *testing.T) {
+	s := newSprinter(t)
+	dedup, err := workload.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d = map[Scheme]Decision{}
+	for _, scheme := range Schemes() {
+		dec, err := s.Decide(dedup, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d[scheme] = dec
+	}
+	// Core power: full > fine-grained > NoC-sprinting (Figure 8).
+	if !(d[FullSprinting].CorePowerW > d[FineGrained].CorePowerW &&
+		d[FineGrained].CorePowerW > d[NoCSprinting].CorePowerW) {
+		t.Errorf("core power ordering wrong: %+v", d)
+	}
+	// Execution time: NoC-sprinting fastest for dedup; non-sprinting slowest.
+	if !(d[NoCSprinting].ExecSeconds < d[FullSprinting].ExecSeconds &&
+		d[FullSprinting].ExecSeconds < d[NonSprinting].ExecSeconds*2) {
+		t.Errorf("execution time ordering wrong")
+	}
+	if d[NoCSprinting].Speedup <= 1 || d[NonSprinting].Speedup != 1 {
+		t.Errorf("speedups wrong: NoC %v, non %v", d[NoCSprinting].Speedup, d[NonSprinting].Speedup)
+	}
+	// NoC gating: only NoC-sprinting powers down routers.
+	if d[NoCSprinting].NoCTilesOn != 4 {
+		t.Errorf("NoC-sprinting powers %d routers, want 4", d[NoCSprinting].NoCTilesOn)
+	}
+	for _, scheme := range []Scheme{NonSprinting, FullSprinting, FineGrained} {
+		if d[scheme].NoCTilesOn != 16 {
+			t.Errorf("%v powers %d routers, want 16", scheme, d[scheme].NoCTilesOn)
+		}
+	}
+	// Chip breakdown consistency.
+	if math.Abs(d[NoCSprinting].Chip[power.CompCore]-d[NoCSprinting].CorePowerW) > 1e-9 {
+		t.Error("CorePowerW disagrees with chip breakdown")
+	}
+}
+
+func TestDecideRejectsBadInput(t *testing.T) {
+	s := newSprinter(t)
+	bad := workload.Profile{Name: "", Parallelism: 1, BaseSeconds: 1}
+	if _, err := s.Decide(bad, NoCSprinting); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	dedup, _ := workload.ByName("dedup")
+	if _, err := s.Decide(dedup, Scheme(42)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestTilePowerMap(t *testing.T) {
+	s := newSprinter(t)
+	cp := s.Config().Chip
+	tiles, err := s.TilePowerMap(4, NoCSprinting, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeTile := cp.CoreActiveW + cp.NoCTileW + cp.L2BankW
+	darkTile := cp.CoreGatedW + cp.L2BankW
+	nActive := 0
+	for _, p := range tiles {
+		switch {
+		case math.Abs(p-activeTile) < 1e-9:
+			nActive++
+		case math.Abs(p-darkTile) < 1e-9:
+		default:
+			t.Fatalf("unexpected tile power %v", p)
+		}
+	}
+	if nActive != 4 {
+		t.Fatalf("%d active tiles, want 4", nActive)
+	}
+	// Without floorplan the active tiles are the clustered region
+	// {0,1,4,5}; with floorplan they are spread.
+	for _, id := range []int{0, 1, 4, 5} {
+		if math.Abs(tiles[id]-activeTile) > 1e-9 {
+			t.Errorf("tile %d should be active in identity placement", id)
+		}
+	}
+	planned, err := s.TilePowerMap(4, NoCSprinting, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range tiles {
+		if math.Abs(tiles[i]-planned[i]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("floorplanned power map identical to identity placement")
+	}
+	// Fine-grained keeps network on at dark tiles and idles cores: dark
+	// tiles dissipate more than under NoC-sprinting.
+	fine, err := s.TilePowerMap(4, FineGrained, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine[15] <= tiles[15] {
+		t.Error("fine-grained dark tile should dissipate more than gated tile")
+	}
+	if _, err := s.TilePowerMap(0, NoCSprinting, false); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := s.TilePowerMap(4, Scheme(42), false); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestHeatMapOrdering(t *testing.T) {
+	s := newSprinter(t)
+	full, err := s.HeatMap(16, FullSprinting, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := s.HeatMap(4, NoCSprinting, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := s.HeatMap(4, NoCSprinting, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _, _ := full.Peak()
+	pc, _, _ := clustered.Peak()
+	pp, _, _ := planned.Peak()
+	if !(pf > pc && pc > pp) {
+		t.Errorf("peak ordering wrong: %v %v %v", pf, pc, pp)
+	}
+}
+
+func TestEvaluateNetworkDedup(t *testing.T) {
+	s := newSprinter(t)
+	dedup, err := workload.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.EvaluateNetwork(dedup, FullSprinting, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocs, err := s.EvaluateNetwork(dedup, NoCSprinting, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Saturated || nocs.Saturated {
+		t.Fatal("PARSEC-level loads should not saturate")
+	}
+	if nocs.AvgLatency >= full.AvgLatency {
+		t.Errorf("NoC-sprinting latency %v not below full %v", nocs.AvgLatency, full.AvgLatency)
+	}
+	if nocs.NetPower.Total() >= full.NetPower.Total() {
+		t.Errorf("NoC-sprinting power %v not below full %v", nocs.NetPower.Total(), full.NetPower.Total())
+	}
+	// Fine-grained: same traffic as NoC-sprinting but no router gating, so
+	// it must burn more network power (mostly leakage of dark routers).
+	fine, err := s.EvaluateNetwork(dedup, FineGrained, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.NetPower.Total() <= nocs.NetPower.Total() {
+		t.Error("fine-grained should burn more network power than NoC-sprinting")
+	}
+	// Non-sprinting: no traffic, but the un-gateable network still leaks
+	// at all 16 routers (the Figure 3 observation).
+	nominal, err := s.EvaluateNetwork(dedup, NonSprinting, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nominal.Level != 1 || nominal.AvgLatency != 0 {
+		t.Errorf("nominal network eval wrong: %+v", nominal)
+	}
+	if nominal.NetPower.TotalLeakage() <= nocs.NetPower.TotalLeakage() {
+		t.Error("nominal (un-gated) network should leak more than a 4-router sprint region")
+	}
+}
+
+func TestEvaluateNetworkLevelOne(t *testing.T) {
+	s := newSprinter(t)
+	// A synthetic profile whose optimum is one core: no traffic, but the
+	// power state still differs between schemes.
+	solo := workload.Profile{
+		Name: "solo", Serial: 0.99, Parallelism: 1, Overhead: 0.1,
+		Contention: 0.01, Comm: 0.001, InjRate: 0.01, BaseSeconds: 1,
+	}
+	nocs, err := s.EvaluateNetwork(solo, NoCSprinting, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := s.EvaluateNetwork(solo, FineGrained, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nocs.Level != 1 || fine.Level != 1 {
+		t.Fatalf("levels %d/%d, want 1", nocs.Level, fine.Level)
+	}
+	if nocs.NetPower.Total() >= fine.NetPower.Total() {
+		t.Error("gated single-router network should burn less than full network")
+	}
+}
+
+func TestSprintThermalDurationGain(t *testing.T) {
+	s := newSprinter(t)
+	dedup, err := workload.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phFull, _, err := s.SprintThermal(dedup, FullSprinting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phNoC, dec, err := s.SprintThermal(dedup, NoCSprinting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Level != 4 {
+		t.Fatalf("dedup level %d", dec.Level)
+	}
+	if phFull.Sustainable || phNoC.Sustainable {
+		t.Fatal("sprints should not be sustainable")
+	}
+	if phNoC.Total() <= phFull.Total() {
+		t.Errorf("NoC-sprinting duration %v not longer than full %v", phNoC.Total(), phFull.Total())
+	}
+}
+
+func TestActivationOrderAndRegionAccessors(t *testing.T) {
+	s := newSprinter(t)
+	order := s.ActivationOrder()
+	if len(order) != 16 || order[0] != 0 {
+		t.Fatalf("activation order wrong: %v", order)
+	}
+	r := s.Region(8)
+	if r.Level() != 8 || !r.Active(0) {
+		t.Error("region accessor wrong")
+	}
+	if s.Mesh().Nodes() != 16 || s.Plan() == nil {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoC.Width = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestNoFloorplanUsesIdentity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseFloorplan = false
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if s.Plan().Pos(i) != i {
+			t.Fatal("identity plan expected when floorplanning disabled")
+		}
+	}
+}
+
+func TestTrafficHeatMap(t *testing.T) {
+	s := newSprinter(t)
+	dedup, err := workload.ByName("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.TrafficHeatMap(dedup, FullSprinting, false, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocs, err := s.TrafficHeatMap(dedup, NoCSprinting, false, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := s.TrafficHeatMap(dedup, NoCSprinting, true, fastSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, _, _ := full.Peak()
+	pc, _, _ := nocs.Peak()
+	pp, _, _ := planned.Peak()
+	if !(pf > pc && pc > pp) {
+		t.Errorf("traffic-driven peak ordering wrong: %.2f %.2f %.2f", pf, pc, pp)
+	}
+	// The traffic-driven map must stay close to the constant-power
+	// abstraction (router activity is mW on a W-scale baseline).
+	abstract, err := s.HeatMap(4, NoCSprinting, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _, _ := abstract.Peak()
+	if math.Abs(pc-pa) > 2.0 {
+		t.Errorf("traffic-driven peak %.2f far from abstraction %.2f", pc, pa)
+	}
+	// Unknown scheme rejected; invalid profile rejected.
+	if _, err := s.TrafficHeatMap(dedup, NonSprinting, false, fastSim); err == nil {
+		t.Error("non-sprinting traffic map accepted")
+	}
+	bad := dedup
+	bad.Serial = 2
+	if _, err := s.TrafficHeatMap(bad, NoCSprinting, false, fastSim); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package floorplan implements the paper's thermal-aware floorplanning
+// heuristic (Algorithms 3 and 4): a design-time remapping of logical mesh
+// nodes to physical grid slots that keeps the logical connectivity (and thus
+// the sprinting process and CDOR) untouched while physically spreading nodes
+// that are likely to sprint together, lowering peak temperature.
+package floorplan
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+)
+
+// Plan is a bijection between logical mesh nodes and physical grid slots.
+// Logical node l occupies physical slot Pos(l); the physical grid has the
+// same dimensions as the logical mesh.
+type Plan struct {
+	m   mesh.Mesh
+	pos []int // pos[logical] = physical slot
+	inv []int // inv[physical slot] = logical node
+}
+
+// Identity returns the trivial floorplan in which every logical node sits at
+// its own physical slot (the paper's baseline without Algorithm 3).
+func Identity(m mesh.Mesh) *Plan {
+	p := &Plan{m: m, pos: make([]int, m.Nodes()), inv: make([]int, m.Nodes())}
+	for i := range p.pos {
+		p.pos[i] = i
+		p.inv[i] = i
+	}
+	return p
+}
+
+// Thermal implements Algorithm 3: it walks the logical mesh breadth-first
+// from the master node (the head of order, which must be an Algorithm 1
+// activation list) and places each node at the free physical slot that
+// maximises the weighted sum of Euclidean distances to already-placed nodes
+// (Algorithm 4). The weight of each distance is the inverse logical Hamming
+// distance: logically-distant pairs rarely sprint together, so they may sit
+// physically close, while logically-close pairs (which sprint together) are
+// pushed apart.
+//
+// The master is pinned to physical slot equal to its own logical id, keeping
+// the memory-controller corner fixed.
+func Thermal(m mesh.Mesh, order []int) (*Plan, error) {
+	n := m.Nodes()
+	if len(order) != n {
+		return nil, fmt.Errorf("floorplan: order has %d entries, mesh has %d nodes", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if id < 0 || id >= n || seen[id] {
+			return nil, fmt.Errorf("floorplan: order is not a permutation of node ids")
+		}
+		seen[id] = true
+	}
+
+	master := order[0]
+	// rank[id] = position of id in the activation order; used to order the
+	// BFS queue "based on List L" as Algorithm 3 specifies.
+	rank := make([]int, n)
+	for i, id := range order {
+		rank[id] = i
+	}
+
+	p := &Plan{m: m, pos: make([]int, n), inv: make([]int, n)}
+	for i := range p.pos {
+		p.pos[i] = -1
+		p.inv[i] = -1
+	}
+	placed := make([]int, 0, n) // logical nodes already placed (set S)
+	freeSlot := make([]bool, n) // physical slots still free (set S')
+	enqueued := make([]bool, n) // logical nodes already queued or placed
+	for i := range freeSlot {
+		freeSlot[i] = true
+	}
+
+	place := func(logical, slot int) {
+		p.pos[logical] = slot
+		p.inv[slot] = logical
+		freeSlot[slot] = false
+		placed = append(placed, logical)
+	}
+
+	place(master, master)
+	enqueued[master] = true
+
+	queue := make([]int, 0, n)
+	pushNeighbors := func(id int) {
+		// Collect unexplored logical neighbours, then insert in activation-
+		// list order (ascending rank) to follow "based on List L".
+		neigh := make([]int, 0, 4)
+		for _, nb := range m.Neighbors(id) {
+			if !enqueued[nb] {
+				neigh = append(neigh, nb)
+				enqueued[nb] = true
+			}
+		}
+		for i := 1; i < len(neigh); i++ {
+			for j := i; j > 0 && rank[neigh[j]] < rank[neigh[j-1]]; j-- {
+				neigh[j], neigh[j-1] = neigh[j-1], neigh[j]
+			}
+		}
+		queue = append(queue, neigh...)
+	}
+	pushNeighbors(master)
+
+	for len(queue) > 0 {
+		rk := queue[0]
+		queue = queue[1:]
+		slot := maxWeightedDistance(m, placed, p.pos, freeSlot, rk)
+		place(rk, slot)
+		pushNeighbors(rk)
+	}
+	if len(placed) != n {
+		// A mesh is connected, so BFS must reach every node.
+		return nil, fmt.Errorf("floorplan: placed %d of %d nodes", len(placed), n)
+	}
+	return p, nil
+}
+
+// maxWeightedDistance is Algorithm 4: among free physical slots, return the
+// one maximising Σ_j w_kj · d(slot, Pos(Rj)) over placed logical nodes Rj,
+// with w_kj = 1 / HammingLogical(Rk, Rj) and d the physical Euclidean
+// distance. Ties break toward the lowest slot index for determinism.
+func maxWeightedDistance(m mesh.Mesh, placed []int, pos []int, freeSlot []bool, rk int) int {
+	best, bestSum := -1, -1.0
+	ck := m.Coord(rk)
+	for slot := 0; slot < m.Nodes(); slot++ {
+		if !freeSlot[slot] {
+			continue
+		}
+		cs := m.Coord(slot)
+		sum := 0.0
+		for _, rj := range placed {
+			w := 1.0 / float64(ck.Hamming(m.Coord(rj)))
+			d := cs.Euclidean(m.Coord(pos[rj]))
+			sum += w * d
+		}
+		if sum > bestSum {
+			bestSum, best = sum, slot
+		}
+	}
+	return best
+}
+
+// Mesh returns the mesh the plan covers.
+func (p *Plan) Mesh() mesh.Mesh { return p.m }
+
+// Pos returns the physical slot of logical node l.
+func (p *Plan) Pos(l int) int { return p.pos[l] }
+
+// LogicalAt returns the logical node occupying physical slot s.
+func (p *Plan) LogicalAt(s int) int { return p.inv[s] }
+
+// Positions returns a copy of the full logical→physical mapping.
+func (p *Plan) Positions() []int { return append([]int(nil), p.pos...) }
+
+// IsBijection reports whether the plan maps every logical node to a distinct
+// physical slot (a validity invariant property tests rely on).
+func (p *Plan) IsBijection() bool {
+	seen := make([]bool, len(p.pos))
+	for _, s := range p.pos {
+		if s < 0 || s >= len(seen) || seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}
+
+// WireLength returns the total and maximum physical Euclidean length of all
+// logical mesh links under the plan. The thermal plan trades longer wires
+// (mitigated in hardware by SMART-style clockless repeaters, §3.3) for
+// better heat spreading; these metrics quantify that cost.
+func (p *Plan) WireLength() (total, max float64) {
+	for id := 0; id < p.m.Nodes(); id++ {
+		for _, d := range [...]mesh.Direction{mesh.East, mesh.South} {
+			nb, ok := p.m.Neighbor(id, d)
+			if !ok {
+				continue
+			}
+			l := p.m.Coord(p.pos[id]).Euclidean(p.m.Coord(p.pos[nb]))
+			total += l
+			if l > max {
+				max = l
+			}
+		}
+	}
+	return total, max
+}
+
+// Spread returns the mean pairwise physical Euclidean distance among the
+// given logical nodes under the plan — the quantity Algorithm 3 maximises
+// for co-sprinting sets. Returns 0 for fewer than two nodes.
+func (p *Plan) Spread(logical []int) float64 {
+	if len(logical) < 2 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for i, a := range logical {
+		for _, b := range logical[i+1:] {
+			sum += p.m.Coord(p.pos[a]).Euclidean(p.m.Coord(p.pos[b]))
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}

@@ -1,0 +1,167 @@
+package floorplan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/sprint"
+)
+
+func plan4x4(t *testing.T) *Plan {
+	t.Helper()
+	m := mesh.New(4, 4)
+	order := sprint.ActivationOrder(m, 0, sprint.Euclidean)
+	p, err := Thermal(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestIdentityPlan(t *testing.T) {
+	m := mesh.New(4, 4)
+	p := Identity(m)
+	for i := 0; i < 16; i++ {
+		if p.Pos(i) != i || p.LogicalAt(i) != i {
+			t.Fatalf("identity plan broken at %d", i)
+		}
+	}
+	if !p.IsBijection() {
+		t.Fatal("identity not a bijection")
+	}
+	total, max := p.WireLength()
+	if total != 24 || max != 1 {
+		t.Errorf("identity wire length = %v,%v want 24,1", total, max)
+	}
+}
+
+func TestThermalIsBijection(t *testing.T) {
+	p := plan4x4(t)
+	if !p.IsBijection() {
+		t.Fatal("thermal plan is not a bijection")
+	}
+	if len(p.Positions()) != 16 {
+		t.Fatal("positions wrong length")
+	}
+}
+
+func TestThermalMasterPinned(t *testing.T) {
+	p := plan4x4(t)
+	if p.Pos(0) != 0 {
+		t.Errorf("master moved to slot %d", p.Pos(0))
+	}
+}
+
+func TestThermalDeterministic(t *testing.T) {
+	m := mesh.New(4, 4)
+	order := sprint.ActivationOrder(m, 0, sprint.Euclidean)
+	p1, err1 := Thermal(m, order)
+	p2, err2 := Thermal(m, order)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := 0; i < 16; i++ {
+		if p1.Pos(i) != p2.Pos(i) {
+			t.Fatal("thermal plan not deterministic")
+		}
+	}
+}
+
+// TestThermalSpreadsSprintSets is the point of Algorithm 3: for small sprint
+// levels, the active set's physical spread must exceed the identity plan's.
+func TestThermalSpreadsSprintSets(t *testing.T) {
+	m := mesh.New(4, 4)
+	order := sprint.ActivationOrder(m, 0, sprint.Euclidean)
+	thermal, err := Thermal(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := Identity(m)
+	for _, level := range []int{2, 3, 4, 6, 8} {
+		active := order[:level]
+		st, si := thermal.Spread(active), id.Spread(active)
+		if st <= si {
+			t.Errorf("level %d: thermal spread %.3f <= identity spread %.3f", level, st, si)
+		}
+	}
+}
+
+func TestThermalIncreasesWireLength(t *testing.T) {
+	m := mesh.New(4, 4)
+	order := sprint.ActivationOrder(m, 0, sprint.Euclidean)
+	thermal, err := Thermal(m, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tTot, tMax := thermal.WireLength()
+	iTot, iMax := Identity(m).WireLength()
+	// The paper concedes the floorplan generates long links (repeated
+	// SMART-style wires): total and max wire length must grow.
+	if tTot <= iTot || tMax <= iMax {
+		t.Errorf("thermal wires (%.2f,%.2f) not longer than identity (%.2f,%.2f)", tTot, tMax, iTot, iMax)
+	}
+}
+
+func TestThermalRejectsBadOrder(t *testing.T) {
+	m := mesh.New(4, 4)
+	if _, err := Thermal(m, []int{0, 1, 2}); err == nil {
+		t.Error("short order accepted")
+	}
+	bad := make([]int, 16)
+	for i := range bad {
+		bad[i] = 0 // duplicate
+	}
+	if _, err := Thermal(m, bad); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	bad2 := make([]int, 16)
+	for i := range bad2 {
+		bad2[i] = i
+	}
+	bad2[3] = 99
+	if _, err := Thermal(m, bad2); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+}
+
+func TestSpreadTrivialSets(t *testing.T) {
+	p := Identity(mesh.New(4, 4))
+	if p.Spread(nil) != 0 || p.Spread([]int{3}) != 0 {
+		t.Error("spread of <2 nodes should be 0")
+	}
+	// Two horizontally adjacent logical nodes are 1 apart physically under
+	// identity.
+	if got := p.Spread([]int{0, 1}); got != 1 {
+		t.Errorf("spread(0,1) = %v", got)
+	}
+}
+
+// TestThermalQuickRandomMeshes property-checks bijection validity and master
+// pinning over random mesh sizes and masters.
+func TestThermalQuickRandomMeshes(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Rand:     rand.New(rand.NewSource(3)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(2 + r.Intn(5))
+			vals[1] = reflect.ValueOf(2 + r.Intn(5))
+			vals[2] = reflect.ValueOf(r.Float64())
+		},
+	}
+	prop := func(w, h int, mf float64) bool {
+		m := mesh.New(w, h)
+		master := int(mf * float64(m.Nodes()-1))
+		order := sprint.ActivationOrder(m, master, sprint.Euclidean)
+		p, err := Thermal(m, order)
+		if err != nil {
+			return false
+		}
+		return p.IsBijection() && p.Pos(master) == master
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

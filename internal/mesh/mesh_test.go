@@ -1,0 +1,196 @@
+package mesh
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 3}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestIDCoordRoundTrip(t *testing.T) {
+	m := New(4, 4)
+	for id := 0; id < m.Nodes(); id++ {
+		if got := m.ID(m.Coord(id)); got != id {
+			t.Errorf("round trip for %d = %d", id, got)
+		}
+	}
+}
+
+func TestCoordLayoutRowMajor(t *testing.T) {
+	m := New(4, 4)
+	// Node 0 top-left, node 5 at (1,1), node 15 bottom-right.
+	cases := map[int]Coord{0: {0, 0}, 1: {1, 0}, 4: {0, 1}, 5: {1, 1}, 15: {3, 3}}
+	for id, want := range cases {
+		if got := m.Coord(id); got != want {
+			t.Errorf("Coord(%d) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestIDPanicsOutside(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("ID outside mesh did not panic")
+		}
+	}()
+	m.ID(Coord{3, 0})
+}
+
+func TestCoordPanicsOutside(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Coord outside mesh did not panic")
+		}
+	}()
+	m.Coord(9)
+}
+
+func TestNeighbor(t *testing.T) {
+	m := New(4, 4)
+	tests := []struct {
+		id   int
+		d    Direction
+		want int
+		ok   bool
+	}{
+		{0, North, -1, false},
+		{0, West, -1, false},
+		{0, East, 1, true},
+		{0, South, 4, true},
+		{5, North, 1, true},
+		{5, East, 6, true},
+		{5, South, 9, true},
+		{5, West, 4, true},
+		{15, East, -1, false},
+		{15, South, -1, false},
+		{3, East, -1, false},
+		{12, West, -1, false},
+		{5, Local, -1, false},
+	}
+	for _, tc := range tests {
+		got, ok := m.Neighbor(tc.id, tc.d)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Neighbor(%d,%v) = %d,%v want %d,%v", tc.id, tc.d, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestNeighborsCounts(t *testing.T) {
+	m := New(4, 4)
+	wantCount := map[int]int{0: 2, 3: 2, 12: 2, 15: 2, 1: 3, 4: 3, 5: 4, 10: 4}
+	for id, want := range wantCount {
+		if got := len(m.Neighbors(id)); got != want {
+			t.Errorf("node %d has %d neighbours, want %d", id, got, want)
+		}
+	}
+}
+
+func TestDirectionTo(t *testing.T) {
+	m := New(4, 4)
+	if d := m.DirectionTo(5, 1); d != North {
+		t.Errorf("DirectionTo(5,1) = %v", d)
+	}
+	if d := m.DirectionTo(5, 6); d != East {
+		t.Errorf("DirectionTo(5,6) = %v", d)
+	}
+	if d := m.DirectionTo(5, 9); d != South {
+		t.Errorf("DirectionTo(5,9) = %v", d)
+	}
+	if d := m.DirectionTo(5, 4); d != West {
+		t.Errorf("DirectionTo(5,4) = %v", d)
+	}
+}
+
+func TestDirectionToPanicsOnNonAdjacent(t *testing.T) {
+	m := New(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("DirectionTo on non-adjacent nodes did not panic")
+		}
+	}()
+	m.DirectionTo(0, 5)
+}
+
+func TestOppositeInvolution(t *testing.T) {
+	for _, d := range []Direction{Local, North, East, South, West} {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("Opposite not an involution for %v", d)
+		}
+	}
+}
+
+func TestOffsetMatchesNeighbor(t *testing.T) {
+	m := New(5, 3)
+	for id := 0; id < m.Nodes(); id++ {
+		for _, d := range []Direction{North, East, South, West} {
+			c := m.Coord(id).Add(d.Offset())
+			nb, ok := m.Neighbor(id, d)
+			if ok != m.Contains(c) {
+				t.Fatalf("Neighbor/Contains disagree at %d %v", id, d)
+			}
+			if ok && m.ID(c) != nb {
+				t.Fatalf("Offset and Neighbor disagree at %d %v", id, d)
+			}
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(1)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(Coord{X: r.Intn(16), Y: r.Intn(16)})
+			}
+		},
+	}
+	// Symmetry and identity for both metrics.
+	sym := func(a, b Coord) bool {
+		return a.EuclideanSq(b) == b.EuclideanSq(a) &&
+			a.Hamming(b) == b.Hamming(a) &&
+			a.EuclideanSq(a) == 0 && a.Hamming(a) == 0
+	}
+	if err := quick.Check(sym, cfg); err != nil {
+		t.Error(err)
+	}
+	// Hamming dominates Euclidean: d_E <= d_H, and d_E^2 <= d_H^2.
+	dom := func(a, b Coord) bool {
+		h := a.Hamming(b)
+		return a.EuclideanSq(b) <= h*h
+	}
+	if err := quick.Check(dom, cfg); err != nil {
+		t.Error(err)
+	}
+	// Triangle inequality for Hamming.
+	tri := func(a, b, c Coord) bool {
+		return a.Hamming(c) <= a.Hamming(b)+b.Hamming(c)
+	}
+	if err := quick.Check(tri, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if North.String() != "North" || Local.String() != "Local" {
+		t.Error("direction names wrong")
+	}
+	if Direction(99).String() != "Direction(99)" {
+		t.Error("out-of-range direction name wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+)
+
+// CheckInvariants verifies the simulator's structural invariants and
+// returns the first violation found. It is O(network size) and intended for
+// tests and debugging (property tests call it every cycle under random
+// traffic), not for the hot path.
+//
+// The key invariant is credit conservation on every directed link: the
+// upstream credit counter, the flits buffered downstream, the flits in
+// flight on the link, and the credits in flight back upstream always sum to
+// the buffer depth.
+func (n *Network) CheckInvariants() error {
+	depth := n.cfg.BufferDepth
+	for id, r := range n.routers {
+		// Buffer bounds and VC state consistency.
+		for p := range r.in {
+			for v := range r.in[p] {
+				ivc := &r.in[p][v]
+				if len(ivc.buf) > depth {
+					return fmt.Errorf("noc: router %d port %d vc %d holds %d flits (depth %d)",
+						id, p, v, len(ivc.buf), depth)
+				}
+				if ivc.state == vcIdle && len(ivc.buf) > 0 {
+					return fmt.Errorf("noc: router %d port %d vc %d idle with %d buffered flits",
+						id, p, v, len(ivc.buf))
+				}
+				if !r.active && len(ivc.buf) > 0 {
+					return fmt.Errorf("noc: gated router %d holds flits", id)
+				}
+			}
+		}
+		if !r.active {
+			continue
+		}
+		// Credit conservation per output (port, vc).
+		for p := 1; p < mesh.NumDirections; p++ { // skip Local: uncredited
+			dst := r.downstream[p]
+			if dst < 0 {
+				continue
+			}
+			inDir := mesh.Direction(p).Opposite()
+			for vc := 0; vc < n.cfg.VCs; vc++ {
+				sum := r.out[p][vc].credits
+				sum += len(n.routers[dst].in[inDir][vc].buf)
+				for _, ev := range n.inbox[dst][inDir] {
+					if ev.f.vc == vc {
+						sum++
+					}
+				}
+				for _, ev := range n.credbox[id] {
+					if int(ev.port) == p && ev.vc == vc {
+						sum++
+					}
+				}
+				if sum != depth {
+					return fmt.Errorf("noc: credit leak on link %d->%d vc %d: sum %d != depth %d",
+						id, dst, vc, sum, depth)
+				}
+			}
+		}
+		// NI-side credits toward the Local input port.
+		nic := n.nis[id]
+		if nic.active {
+			for vc := 0; vc < n.cfg.VCs; vc++ {
+				sum := nic.credits[vc]
+				sum += len(r.in[mesh.Local][vc].buf)
+				for _, ev := range n.inbox[id][mesh.Local] {
+					if ev.f.vc == vc {
+						sum++
+					}
+				}
+				for _, ev := range n.nicredbox[id] {
+					if ev.vc == vc {
+						sum++
+					}
+				}
+				if sum != depth {
+					return fmt.Errorf("noc: NI credit leak at node %d vc %d: sum %d != depth %d",
+						id, vc, sum, depth)
+				}
+			}
+		}
+	}
+	// Packet accounting.
+	if n.stats.PacketsEjected > n.stats.PacketsInjected {
+		return fmt.Errorf("noc: ejected %d > injected %d", n.stats.PacketsEjected, n.stats.PacketsInjected)
+	}
+	if n.stats.PacketsInjected > n.stats.PacketsCreated {
+		return fmt.Errorf("noc: injected %d > created %d", n.stats.PacketsInjected, n.stats.PacketsCreated)
+	}
+	return nil
+}

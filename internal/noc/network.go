@@ -1,0 +1,646 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/routing"
+)
+
+// arrival is a flit in flight on a link, due at cycle t.
+type arrival struct {
+	f flit
+	t int64
+}
+
+// creditEvt is a credit in flight back to an upstream output (port,vc).
+type creditEvt struct {
+	port mesh.Direction
+	vc   int
+	t    int64
+}
+
+// Stats summarises network activity. Counter fields are monotonic; take a
+// snapshot before and after a measurement window and subtract.
+type Stats struct {
+	// Cycles is the number of simulated cycles.
+	Cycles int64
+	// PacketsCreated/Injected/Ejected count packet lifecycle milestones.
+	PacketsCreated, PacketsInjected, PacketsEjected int64
+	// FlitsInjected and FlitsEjected count flits entering/leaving the
+	// network fabric.
+	FlitsInjected, FlitsEjected int64
+	// MeasuredCreated and MeasuredEjected count packets created inside the
+	// measurement window and their completions.
+	MeasuredCreated, MeasuredEjected int64
+	// LatencySum accumulates (ejection - creation) over measured packets:
+	// total packet latency including source queueing.
+	LatencySum int64
+	// NetLatencySum accumulates (ejection - injection) over measured
+	// packets: in-network latency only.
+	NetLatencySum int64
+	// Events aggregates router micro-events network-wide.
+	Events Events
+}
+
+// AvgLatency returns mean measured packet latency (cycles) including source
+// queueing, or 0 with ok=false if nothing was measured.
+func (s Stats) AvgLatency() (float64, bool) {
+	if s.MeasuredEjected == 0 {
+		return 0, false
+	}
+	return float64(s.LatencySum) / float64(s.MeasuredEjected), true
+}
+
+// AvgNetLatency returns mean measured in-network packet latency (cycles).
+func (s Stats) AvgNetLatency() (float64, bool) {
+	if s.MeasuredEjected == 0 {
+		return 0, false
+	}
+	return float64(s.NetLatencySum) / float64(s.MeasuredEjected), true
+}
+
+// Sub returns the counter deltas s - o.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Cycles:          s.Cycles - o.Cycles,
+		PacketsCreated:  s.PacketsCreated - o.PacketsCreated,
+		PacketsInjected: s.PacketsInjected - o.PacketsInjected,
+		PacketsEjected:  s.PacketsEjected - o.PacketsEjected,
+		FlitsInjected:   s.FlitsInjected - o.FlitsInjected,
+		FlitsEjected:    s.FlitsEjected - o.FlitsEjected,
+		MeasuredCreated: s.MeasuredCreated - o.MeasuredCreated,
+		MeasuredEjected: s.MeasuredEjected - o.MeasuredEjected,
+		LatencySum:      s.LatencySum - o.LatencySum,
+		NetLatencySum:   s.NetLatencySum - o.NetLatencySum,
+		Events:          s.Events.Sub(o.Events),
+	}
+}
+
+// ni is the network interface at an active node: an unbounded source queue
+// feeding the router's Local input port, plus the ejection sink.
+type ni struct {
+	active  bool
+	queue   []*Packet
+	cur     *Packet // packet currently being injected
+	curSeq  int
+	curVC   int
+	credits []int // credits toward the router's Local input VCs
+}
+
+// Network is a simulated mesh NoC. Construct with New, drive with Step,
+// inject with Enqueue.
+type Network struct {
+	cfg     Config
+	m       mesh.Mesh
+	alg     routing.Algorithm
+	routers []*router
+	// inbox[r][p] holds flits in flight toward router r's input port p.
+	inbox [][mesh.NumDirections][]arrival
+	// credbox[r] holds credits in flight back to router r's outputs.
+	credbox [][]creditEvt
+	// nicredbox[r] holds credits (freed Local-input slots) flowing back to
+	// NI r, as (vc, cycle) pairs encoded in creditEvt with port Local.
+	nicredbox [][]creditEvt
+	// eject[r] holds flits in flight from router r's Local output to NI r.
+	eject [][]arrival
+	nis   []*ni
+
+	cycle        int64
+	measuring    bool
+	nextPacketID int64
+	stats        Stats
+	// Runtime power gating (nil when disabled; see gating.go).
+	gatingCfg GatingConfig
+	gating    []gatingState
+	// sink, when set, receives every packet at tail ejection (closed-loop
+	// protocol models hook here).
+	sink func(*Packet)
+	// linkLatency overrides cfg.LinkLatency per directed link (keyed
+	// from*nodes+to); nil means uniform latency. Models the longer
+	// physical wires a thermal-aware floorplan creates (§3.3) — and, when
+	// left uniform, the SMART repeated wires that traverse them in one
+	// cycle.
+	linkLatency map[int]int
+	// usedInput is per-cycle scratch for the one-flit-per-input-port
+	// crossbar constraint, sized [routers][ports].
+	usedInput [][mesh.NumDirections]bool
+}
+
+// New builds a network over cfg's mesh using routing algorithm alg.
+// activeNodes lists the powered routers (with NIs); nil means all nodes are
+// active (full-sprinting). Gated routers hold no state and the simulator
+// panics if routing ever sends a flit into one.
+func New(cfg Config, alg routing.Algorithm, activeNodes []int) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mesh.New(cfg.Width, cfg.Height)
+	activeSet := make([]bool, m.Nodes())
+	if activeNodes == nil {
+		for i := range activeSet {
+			activeSet[i] = true
+		}
+	} else {
+		for _, id := range activeNodes {
+			if id < 0 || id >= m.Nodes() {
+				return nil, fmt.Errorf("noc: active node %d outside mesh", id)
+			}
+			activeSet[id] = true
+		}
+	}
+	n := &Network{
+		cfg:       cfg,
+		m:         m,
+		alg:       alg,
+		routers:   make([]*router, m.Nodes()),
+		inbox:     make([][mesh.NumDirections][]arrival, m.Nodes()),
+		credbox:   make([][]creditEvt, m.Nodes()),
+		nicredbox: make([][]creditEvt, m.Nodes()),
+		eject:     make([][]arrival, m.Nodes()),
+		nis:       make([]*ni, m.Nodes()),
+		usedInput: make([][mesh.NumDirections]bool, m.Nodes()),
+	}
+	for id := 0; id < m.Nodes(); id++ {
+		n.routers[id] = newRouter(id, cfg, m, activeSet[id])
+		nic := &ni{active: activeSet[id], credits: make([]int, cfg.VCs)}
+		for v := range nic.credits {
+			nic.credits[v] = cfg.BufferDepth
+		}
+		n.nis[id] = nic
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Mesh returns the underlying mesh.
+func (n *Network) Mesh() mesh.Mesh { return n.m }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// SetMeasuring toggles the measurement window: packets created while
+// measuring contribute to latency statistics when they complete.
+func (n *Network) SetMeasuring(on bool) { n.measuring = on }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.Cycles = n.cycle
+	s.Events = Events{}
+	for _, r := range n.routers {
+		s.Events.Add(r.events)
+	}
+	return s
+}
+
+// RouterEvents returns the micro-event counters of router id.
+func (n *Network) RouterEvents(id int) Events { return n.routers[id].events }
+
+// ActiveRouters returns the number of powered routers.
+func (n *Network) ActiveRouters() int {
+	c := 0
+	for _, r := range n.routers {
+		if r.active {
+			c++
+		}
+	}
+	return c
+}
+
+// Enqueue creates a packet from src to dst in message class 0 and places
+// it in src's source queue. Both nodes must be active. The packet is
+// returned so callers can inspect its completion times.
+func (n *Network) Enqueue(src, dst int) *Packet { return n.EnqueueClass(src, dst, 0) }
+
+// EnqueueClass creates a packet in the given message class (VC partition).
+func (n *Network) EnqueueClass(src, dst, class int) *Packet {
+	return n.EnqueuePacket(src, dst, class, n.cfg.PacketLength)
+}
+
+// EnqueuePacket creates a packet with an explicit flit count — protocol
+// models use short control packets and long data packets.
+func (n *Network) EnqueuePacket(src, dst, class, length int) *Packet {
+	if !n.nis[src].active {
+		panic(fmt.Sprintf("noc: enqueue at gated node %d", src))
+	}
+	if !n.nis[dst].active {
+		panic(fmt.Sprintf("noc: enqueue toward gated node %d", dst))
+	}
+	if class < 0 || class >= n.cfg.classes() {
+		panic(fmt.Sprintf("noc: class %d outside [0,%d)", class, n.cfg.classes()))
+	}
+	if length < 1 {
+		panic(fmt.Sprintf("noc: packet length %d < 1", length))
+	}
+	p := &Packet{
+		ID:         n.nextPacketID,
+		Src:        src,
+		Dst:        dst,
+		Length:     length,
+		CreatedAt:  n.cycle,
+		InjectedAt: -1,
+		EjectedAt:  -1,
+		Measured:   n.measuring,
+		Class:      class,
+	}
+	n.nextPacketID++
+	n.stats.PacketsCreated++
+	if p.Measured {
+		n.stats.MeasuredCreated++
+	}
+	n.nis[src].queue = append(n.nis[src].queue, p)
+	return p
+}
+
+// InFlight returns the number of packets created but not yet fully ejected.
+func (n *Network) InFlight() int64 { return n.stats.PacketsCreated - n.stats.PacketsEjected }
+
+// Drained reports whether no packets remain anywhere in the system.
+func (n *Network) Drained() bool { return n.InFlight() == 0 }
+
+// Step advances the network by one cycle. Stages run in reverse pipeline
+// order (credits, SA+ST, VA, RC, buffer write, injection) so each flit
+// advances at most one stage per cycle.
+func (n *Network) Step() {
+	now := n.cycle
+	for i := range n.usedInput {
+		n.usedInput[i] = [mesh.NumDirections]bool{}
+	}
+	n.deliverCredits(now)
+	n.switchAllocation(now)
+	n.vcAllocation()
+	n.routeCompute()
+	n.deliverFlits(now)
+	n.inject(now)
+	n.updateGating(now)
+	n.cycle++
+}
+
+// Run advances the network by cycles steps.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+func (n *Network) deliverCredits(now int64) {
+	for id := range n.routers {
+		box := n.credbox[id]
+		k := 0
+		for _, ev := range box {
+			if ev.t > now {
+				box[k] = ev
+				k++
+				continue
+			}
+			n.routers[id].out[ev.port][ev.vc].credits++
+			if n.routers[id].out[ev.port][ev.vc].credits > n.cfg.BufferDepth {
+				panic("noc: credit overflow")
+			}
+		}
+		n.credbox[id] = box[:k]
+
+		nbox := n.nicredbox[id]
+		k = 0
+		for _, ev := range nbox {
+			if ev.t > now {
+				nbox[k] = ev
+				k++
+				continue
+			}
+			n.nis[id].credits[ev.vc]++
+			if n.nis[id].credits[ev.vc] > n.cfg.BufferDepth {
+				panic("noc: NI credit overflow")
+			}
+		}
+		n.nicredbox[id] = nbox[:k]
+	}
+}
+
+// switchAllocation arbitrates the crossbar per output port and performs
+// switch+link traversal for the winners.
+func (n *Network) switchAllocation(now int64) {
+	nVC := n.cfg.VCs
+	reqSpace := mesh.NumDirections * nVC
+	for id, r := range n.routers {
+		if !r.active || !n.powered(id) {
+			continue
+		}
+		for p := 0; p < mesh.NumDirections; p++ {
+			outPort := mesh.Direction(p)
+			// Round-robin over the flattened (inPort, inVC) requester space.
+			granted := false
+			for k := 0; k < reqSpace && !granted; k++ {
+				idx := (r.saPtr[p] + k) % reqSpace
+				inPort := idx / nVC
+				inVC := idx % nVC
+				if n.usedInput[id][inPort] {
+					continue
+				}
+				v := &r.in[inPort][inVC]
+				if v.state != vcActive || v.empty() || v.outPort != outPort {
+					continue
+				}
+				if !r.hasCredit(outPort, v.outVC) {
+					continue
+				}
+				// Grant: traverse switch and link.
+				f := v.pop()
+				f.vc = v.outVC
+				r.events.BufferReads++
+				r.events.XbarTraversals++
+				r.events.SAGrants++
+				n.usedInput[id][inPort] = true
+				r.saPtr[p] = (idx + 1) % reqSpace
+				granted = true
+
+				if outPort == mesh.Local {
+					n.eject[id] = append(n.eject[id], arrival{f: f, t: now + 1})
+				} else {
+					r.out[outPort][v.outVC].credits--
+					r.events.LinkFlits++
+					dst := r.downstream[outPort]
+					if dst < 0 {
+						panic("noc: flit routed off mesh edge")
+					}
+					inDir := outPort.Opposite()
+					// Switch traversal takes this cycle; link traversal
+					// adds the link's latency (the ST then LT stages).
+					n.inbox[dst][inDir] = append(n.inbox[dst][inDir],
+						arrival{f: f, t: now + 1 + int64(n.linkLatencyOf(id, dst))})
+				}
+
+				// Return the freed buffer slot upstream as a credit.
+				if mesh.Direction(inPort) == mesh.Local {
+					n.nicredbox[id] = append(n.nicredbox[id],
+						creditEvt{port: mesh.Local, vc: inVC, t: now + 1})
+				} else {
+					up := r.downstream[inPort] // neighbour feeding this input
+					upPort := mesh.Direction(inPort).Opposite()
+					n.credbox[up] = append(n.credbox[up],
+						creditEvt{port: upPort, vc: inVC, t: now + 1})
+				}
+
+				if f.typ.IsTail() {
+					if !v.empty() {
+						panic("noc: flits behind tail in VC — wormhole invariant broken")
+					}
+					r.out[v.outPort][v.outVC].occupied = false
+					v.state = vcIdle
+				}
+			}
+		}
+	}
+}
+
+// vcAllocation grants free output VCs to input VCs whose route is computed.
+// An output VC is reallocated only when unoccupied with full credits, which
+// keeps each VC buffer single-packet (atomic VC allocation).
+func (n *Network) vcAllocation() {
+	nVC := n.cfg.VCs
+	reqSpace := mesh.NumDirections * nVC
+	for id, r := range n.routers {
+		if !r.active || !n.powered(id) {
+			continue
+		}
+		for p := 0; p < mesh.NumDirections; p++ {
+			outPort := mesh.Direction(p)
+			for k := 0; k < reqSpace; k++ {
+				idx := (r.vaPtr[p] + k) % reqSpace
+				inPort := idx / nVC
+				inVC := idx % nVC
+				v := &r.in[inPort][inVC]
+				if v.state != vcVA || v.outPort != outPort {
+					continue
+				}
+				class := v.buf[0].pkt.Class
+				outVC := r.freeOutputVC(outPort, p, class*n.cfg.vcsPerClass(), n.cfg.vcsPerClass())
+				if outVC < 0 {
+					continue // this class's VCs are exhausted this cycle
+				}
+				r.out[outPort][outVC].occupied = true
+				v.outVC = outVC
+				v.state = vcActive
+				r.events.VAGrants++
+				r.vaPtr[p] = (idx + 1) % reqSpace
+			}
+		}
+	}
+}
+
+// freeOutputVC returns a grantable VC index within the class partition
+// [lo, lo+span) on outPort (round-robin), or -1.
+func (r *router) freeOutputVC(outPort mesh.Direction, p, lo, span int) int {
+	for k := 0; k < span; k++ {
+		vc := lo + (r.vaVCPtr[p]+k)%span
+		o := &r.out[outPort][vc]
+		full := outPort == mesh.Local || o.credits == cap(r.in[0][0].buf)
+		if !o.occupied && full {
+			r.vaVCPtr[p] = (vc - lo + 1) % span
+			return vc
+		}
+	}
+	return -1
+}
+
+// routeCompute computes output ports for head flits newly buffered.
+func (n *Network) routeCompute() {
+	for id, r := range n.routers {
+		if !r.active || !n.powered(id) {
+			continue
+		}
+		for p := range r.in {
+			for v := range r.in[p] {
+				ivc := &r.in[p][v]
+				if ivc.state != vcRoute || ivc.empty() {
+					continue
+				}
+				head := ivc.buf[0]
+				if !head.typ.IsHead() {
+					panic("noc: non-head flit at route compute")
+				}
+				port, err := n.alg.NextPort(id, head.pkt.Dst)
+				if err != nil {
+					panic(fmt.Sprintf("noc: routing failure at router %d for packet %d->%d: %v",
+						id, head.pkt.Src, head.pkt.Dst, err))
+				}
+				ivc.outPort = port
+				ivc.state = vcVA
+			}
+		}
+	}
+}
+
+// deliverFlits performs buffer writes for flits whose link traversal
+// completes this cycle, and ejections into NIs.
+func (n *Network) deliverFlits(now int64) {
+	for id, r := range n.routers {
+		for p := 0; p < mesh.NumDirections; p++ {
+			box := n.inbox[id][p]
+			k := 0
+			for _, ev := range box {
+				if ev.t > now {
+					box[k] = ev
+					k++
+					continue
+				}
+				// Runtime gating: an arrival at a gated router triggers
+				// wake-up and waits out the power-on latency.
+				if !n.wakeArrival(id, now) {
+					box[k] = ev
+					k++
+					continue
+				}
+				r.checkGated()
+				v := &r.in[p][ev.f.vc]
+				v.push(ev.f, n.cfg.BufferDepth)
+				r.events.BufferWrites++
+				if ev.f.typ.IsHead() {
+					if v.state != vcIdle {
+						panic("noc: head flit into busy VC")
+					}
+					v.state = vcRoute
+				}
+			}
+			n.inbox[id][p] = box[:k]
+		}
+
+		// Ejections: the NI consumes arrivals immediately.
+		ebox := n.eject[id]
+		k := 0
+		for _, ev := range ebox {
+			if ev.t > now {
+				ebox[k] = ev
+				k++
+				continue
+			}
+			n.stats.FlitsEjected++
+			if ev.f.typ.IsTail() {
+				pkt := ev.f.pkt
+				pkt.EjectedAt = now
+				n.stats.PacketsEjected++
+				if pkt.Measured {
+					n.stats.MeasuredEjected++
+					n.stats.LatencySum += pkt.EjectedAt - pkt.CreatedAt
+					n.stats.NetLatencySum += pkt.EjectedAt - pkt.InjectedAt
+				}
+				if n.sink != nil {
+					n.sink(pkt)
+				}
+			}
+		}
+		n.eject[id] = ebox[:k]
+	}
+}
+
+// inject moves flits from source queues into router Local input ports, one
+// flit per node per cycle.
+func (n *Network) inject(now int64) {
+	for id, nic := range n.nis {
+		if !nic.active {
+			continue
+		}
+		if nic.cur == nil && len(nic.queue) > 0 {
+			// Serve the oldest packet whose class still has a free VC;
+			// classes are independent, so a stalled class must not block
+			// the others at the source (order within a class is kept).
+			for qi, pkt := range nic.queue {
+				vc := n.freeInjectionVC(id, pkt.Class)
+				if vc < 0 {
+					continue
+				}
+				nic.cur = pkt
+				copy(nic.queue[qi:], nic.queue[qi+1:])
+				nic.queue = nic.queue[:len(nic.queue)-1]
+				nic.curSeq = 0
+				nic.curVC = vc
+				break
+			}
+		}
+		if nic.cur == nil || nic.credits[nic.curVC] <= 0 {
+			continue
+		}
+		pkt := nic.cur
+		typ := Body
+		switch {
+		case pkt.Length == 1:
+			typ = HeadTail
+		case nic.curSeq == 0:
+			typ = Head
+		case nic.curSeq == pkt.Length-1:
+			typ = Tail
+		}
+		f := flit{pkt: pkt, typ: typ, seq: nic.curSeq, vc: nic.curVC}
+		nic.credits[nic.curVC]--
+		n.inbox[id][mesh.Local] = append(n.inbox[id][mesh.Local], arrival{f: f, t: now + 1})
+		n.stats.FlitsInjected++
+		if typ.IsHead() {
+			pkt.InjectedAt = now
+			n.stats.PacketsInjected++
+		}
+		nic.curSeq++
+		if nic.curSeq == pkt.Length {
+			nic.cur = nil
+		}
+	}
+}
+
+// freeInjectionVC returns a Local-input VC in the packet class's partition
+// able to accept a new packet: idle router-side with all credits returned,
+// or -1.
+func (n *Network) freeInjectionVC(id, class int) int {
+	r := n.routers[id]
+	nic := n.nis[id]
+	lo := class * n.cfg.vcsPerClass()
+	for k := 0; k < n.cfg.vcsPerClass(); k++ {
+		vc := lo + k
+		if nic.credits[vc] == n.cfg.BufferDepth && r.in[mesh.Local][vc].state == vcIdle {
+			return vc
+		}
+	}
+	return -1
+}
+
+// linkLatencyOf returns the latency of the directed link from router a to
+// router b in cycles.
+func (n *Network) linkLatencyOf(a, b int) int {
+	if n.linkLatency != nil {
+		if l, ok := n.linkLatency[a*n.m.Nodes()+b]; ok {
+			return l
+		}
+	}
+	return n.cfg.LinkLatency
+}
+
+// SetLinkLatency overrides the latency of the directed link from router a
+// to router b (both directions must be set separately). It must be called
+// before simulation starts; latencies model physically longer wires, e.g.
+// after thermal-aware floorplanning without SMART repeaters.
+func (n *Network) SetLinkLatency(a, b, cycles int) error {
+	if n.cycle != 0 {
+		return fmt.Errorf("noc: link latencies must be set before simulation starts")
+	}
+	if cycles < 1 {
+		return fmt.Errorf("noc: link latency %d < 1", cycles)
+	}
+	if a < 0 || a >= n.m.Nodes() || b < 0 || b >= n.m.Nodes() {
+		return fmt.Errorf("noc: link %d->%d outside mesh", a, b)
+	}
+	if n.m.HammingID(a, b) != 1 {
+		return fmt.Errorf("noc: %d and %d are not linked", a, b)
+	}
+	if n.linkLatency == nil {
+		n.linkLatency = make(map[int]int)
+	}
+	n.linkLatency[a*n.m.Nodes()+b] = cycles
+	return nil
+}
+
+// SetSink installs a callback invoked at every packet's tail ejection —
+// the hook closed-loop protocol models (e.g. a cache hierarchy) use to
+// react to message delivery. The callback runs inside Step; it may enqueue
+// new packets but must not call Step recursively.
+func (n *Network) SetSink(sink func(*Packet)) { n.sink = sink }

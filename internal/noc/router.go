@@ -1,0 +1,148 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+)
+
+// vcState tracks an input VC through the router pipeline.
+type vcState uint8
+
+const (
+	vcIdle   vcState = iota // no packet
+	vcRoute                 // head flit buffered, awaiting route compute
+	vcVA                    // route known, awaiting an output VC
+	vcActive                // output VC held, flits competing for the switch
+)
+
+// inputVC is one virtual channel on one input port: a flit FIFO plus
+// pipeline state.
+type inputVC struct {
+	buf     []flit
+	state   vcState
+	outPort mesh.Direction
+	outVC   int
+}
+
+func (v *inputVC) empty() bool { return len(v.buf) == 0 }
+
+func (v *inputVC) push(f flit, depth int) {
+	if len(v.buf) >= depth {
+		panic("noc: VC buffer overflow — credit accounting broken")
+	}
+	v.buf = append(v.buf, f)
+}
+
+func (v *inputVC) pop() flit {
+	f := v.buf[0]
+	copy(v.buf, v.buf[1:])
+	v.buf = v.buf[:len(v.buf)-1]
+	return f
+}
+
+// outputVC mirrors one downstream input VC: whether some packet currently
+// holds it, and how many downstream buffer slots remain (credits).
+type outputVC struct {
+	occupied bool
+	credits  int
+}
+
+// Events counts the router micro-events the power model converts into
+// dynamic energy.
+type Events struct {
+	// BufferWrites and BufferReads count flit buffer accesses.
+	BufferWrites, BufferReads int64
+	// XbarTraversals counts flits crossing the switch.
+	XbarTraversals int64
+	// LinkFlits counts flits leaving on inter-router links (not ejection).
+	LinkFlits int64
+	// SAGrants and VAGrants count allocator grant operations.
+	SAGrants, VAGrants int64
+}
+
+// Add accumulates o into e.
+func (e *Events) Add(o Events) {
+	e.BufferWrites += o.BufferWrites
+	e.BufferReads += o.BufferReads
+	e.XbarTraversals += o.XbarTraversals
+	e.LinkFlits += o.LinkFlits
+	e.SAGrants += o.SAGrants
+	e.VAGrants += o.VAGrants
+}
+
+// Sub returns e minus o (for measurement-window deltas).
+func (e Events) Sub(o Events) Events {
+	return Events{
+		BufferWrites:   e.BufferWrites - o.BufferWrites,
+		BufferReads:    e.BufferReads - o.BufferReads,
+		XbarTraversals: e.XbarTraversals - o.XbarTraversals,
+		LinkFlits:      e.LinkFlits - o.LinkFlits,
+		SAGrants:       e.SAGrants - o.SAGrants,
+		VAGrants:       e.VAGrants - o.VAGrants,
+	}
+}
+
+// router is one mesh router: 5 ports (Local + NESW), each with VCs.
+type router struct {
+	id     int
+	active bool
+	in     [mesh.NumDirections][]inputVC
+	out    [mesh.NumDirections][]outputVC
+	// downstream[p] is the router id reached through output port p, or -1
+	// for Local and mesh edges.
+	downstream [mesh.NumDirections]int
+	// Round-robin pointers: saPtr/vaPtr index the flattened (port,vc)
+	// requester space per output port; vaVCPtr indexes output VCs.
+	saPtr   [mesh.NumDirections]int
+	vaPtr   [mesh.NumDirections]int
+	vaVCPtr [mesh.NumDirections]int
+	events  Events
+}
+
+func newRouter(id int, cfg Config, m mesh.Mesh, active bool) *router {
+	r := &router{id: id, active: active}
+	for p := 0; p < mesh.NumDirections; p++ {
+		r.in[p] = make([]inputVC, cfg.VCs)
+		r.out[p] = make([]outputVC, cfg.VCs)
+		for v := range r.in[p] {
+			r.in[p][v].buf = make([]flit, 0, cfg.BufferDepth)
+			r.out[p][v].credits = cfg.BufferDepth
+		}
+		r.downstream[p] = -1
+		if d := mesh.Direction(p); d != mesh.Local {
+			if nb, ok := m.Neighbor(id, d); ok {
+				r.downstream[p] = nb
+			}
+		}
+	}
+	return r
+}
+
+// hasCredit reports whether output (port,vc) can accept a flit. Ejection
+// (Local) is never back-pressured: the network interface consumes flits as
+// they arrive.
+func (r *router) hasCredit(p mesh.Direction, vc int) bool {
+	if p == mesh.Local {
+		return true
+	}
+	return r.out[p][vc].credits > 0
+}
+
+// occupancy returns the number of buffered flits across all input VCs,
+// used by drain detection and conservation checks.
+func (r *router) occupancy() int {
+	n := 0
+	for p := range r.in {
+		for v := range r.in[p] {
+			n += len(r.in[p][v].buf)
+		}
+	}
+	return n
+}
+
+func (r *router) checkGated() {
+	if !r.active {
+		panic(fmt.Sprintf("noc: flit reached power-gated router %d — routing violated the sprint region", r.id))
+	}
+}

@@ -1,0 +1,152 @@
+package noc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nocsprint/internal/traffic"
+)
+
+// Traffic traces: a recorded sequence of packet injections that can be
+// replayed deterministically — the trace-driven mode of booksim-class
+// simulators. Traces serialise as JSON lines so they can be produced or
+// consumed by external tools.
+
+// TraceEvent is one packet injection.
+type TraceEvent struct {
+	// Cycle is the injection cycle (non-decreasing within a trace).
+	Cycle int64 `json:"cycle"`
+	// Src and Dst are mesh node ids.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Class is the message class (VC partition).
+	Class int `json:"class,omitempty"`
+}
+
+// WriteTrace writes events to w as JSON lines.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("noc: writing trace event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSON-lines trace and validates cycle monotonicity.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var events []TraceEvent
+	dec := json.NewDecoder(r)
+	var prev int64 = -1
+	for {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("noc: parsing trace event %d: %w", len(events), err)
+		}
+		if ev.Cycle < prev {
+			return nil, fmt.Errorf("noc: trace cycles not monotonic at event %d", len(events))
+		}
+		prev = ev.Cycle
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// GenerateTrace draws a Bernoulli injection trace over the endpoints of set
+// with the given pattern and rate (flits/cycle/node), for the given number
+// of cycles — offline generation of exactly the traffic RunSynthetic would
+// inject with the same seed and packet length.
+func GenerateTrace(set *traffic.Set, pattern traffic.Pattern, rate float64, packetLength int, cycles int, seed int64) ([]TraceEvent, error) {
+	if pattern.N() != set.Size() {
+		return nil, fmt.Errorf("noc: pattern endpoints %d != set size %d", pattern.N(), set.Size())
+	}
+	if packetLength < 1 {
+		return nil, fmt.Errorf("noc: packet length %d < 1", packetLength)
+	}
+	pktProb := rate / float64(packetLength)
+	if pktProb < 0 || pktProb > 1 {
+		return nil, fmt.Errorf("noc: rate %g outside [0, packetLength]", rate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	endpoints := set.Nodes()
+	var events []TraceEvent
+	for c := 0; c < cycles; c++ {
+		for _, src := range endpoints {
+			if rng.Float64() < pktProb {
+				events = append(events, TraceEvent{
+					Cycle: int64(c),
+					Src:   src,
+					Dst:   set.PickNode(pattern, src, rng),
+				})
+			}
+		}
+	}
+	return events, nil
+}
+
+// TraceResult summarises a trace replay.
+type TraceResult struct {
+	// AvgLatency is the mean packet latency over all trace packets.
+	AvgLatency float64
+	// Packets is the number of packets replayed.
+	Packets int64
+	// Cycles is the total simulated cycle count including drain.
+	Cycles int64
+	// Events holds the micro-event totals for power estimation.
+	Events Events
+	// Drained reports whether every packet completed within the drain
+	// budget.
+	Drained bool
+}
+
+// ReplayTrace injects the trace into net at the recorded cycles (relative
+// to the network's current cycle), then drains for at most drainCycles.
+// All trace packets are measured.
+func ReplayTrace(net *Network, events []TraceEvent, drainCycles int) (TraceResult, error) {
+	start := net.Cycle()
+	net.SetMeasuring(true)
+	idx := 0
+	for idx < len(events) {
+		rel := net.Cycle() - start
+		for idx < len(events) && events[idx].Cycle == rel {
+			ev := events[idx]
+			if ev.Cycle < 0 {
+				return TraceResult{}, fmt.Errorf("noc: negative trace cycle")
+			}
+			net.EnqueueClass(ev.Src, ev.Dst, ev.Class)
+			idx++
+		}
+		if idx < len(events) && events[idx].Cycle < rel {
+			return TraceResult{}, fmt.Errorf("noc: trace cycles not monotonic at event %d", idx)
+		}
+		net.Step()
+	}
+	net.SetMeasuring(false)
+	drained := false
+	for i := 0; i < drainCycles; i++ {
+		s := net.Stats()
+		if s.MeasuredEjected == s.MeasuredCreated {
+			drained = true
+			break
+		}
+		net.Step()
+	}
+	s := net.Stats()
+	res := TraceResult{
+		Packets: s.MeasuredEjected,
+		Cycles:  s.Cycles,
+		Events:  s.Events,
+		Drained: drained,
+	}
+	if s.MeasuredEjected > 0 {
+		res.AvgLatency = float64(s.LatencySum) / float64(s.MeasuredEjected)
+	}
+	return res, nil
+}

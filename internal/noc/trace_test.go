@@ -1,0 +1,135 @@
+package noc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/routing"
+	"nocsprint/internal/traffic"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := []TraceEvent{
+		{Cycle: 0, Src: 0, Dst: 5},
+		{Cycle: 0, Src: 3, Dst: 9, Class: 1},
+		{Cycle: 7, Src: 15, Dst: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("%d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbageAndDisorder(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	disorder := `{"cycle":5,"src":0,"dst":1}
+{"cycle":2,"src":0,"dst":1}
+`
+	if _, err := ReadTrace(strings.NewReader(disorder)); err == nil {
+		t.Error("non-monotonic trace accepted")
+	}
+}
+
+func TestGenerateTraceValidation(t *testing.T) {
+	set := traffic.NewSet(allNodes(16))
+	if _, err := GenerateTrace(set, traffic.NewUniform(4), 0.1, 5, 100, 1); err == nil {
+		t.Error("mismatched pattern accepted")
+	}
+	if _, err := GenerateTrace(set, traffic.NewUniform(16), 0.1, 0, 100, 1); err == nil {
+		t.Error("zero packet length accepted")
+	}
+	if _, err := GenerateTrace(set, traffic.NewUniform(16), 99, 5, 100, 1); err == nil {
+		t.Error("over-unity rate accepted")
+	}
+}
+
+// TestReplayMatchesLiveRun pins determinism: generating a trace offline and
+// replaying it produces exactly the injections RunSynthetic performs with
+// the same seed, so the average latency matches exactly.
+func TestReplayMatchesLiveRun(t *testing.T) {
+	cfg := DefaultConfig()
+	m := mesh.New(4, 4)
+	set := traffic.NewSet(allNodes(16))
+	pattern := traffic.NewUniform(16)
+	const (
+		rate   = 0.15
+		cycles = 2000
+		seed   = 55
+	)
+
+	// Live: measure from cycle 0 with no warmup so the windows align.
+	live, err := New(cfg, routing.NewDOR(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := RunSynthetic(live, set, pattern, SimParams{
+		InjectionRate: rate, WarmupCycles: 0, MeasureCycles: cycles, DrainCycles: 30000, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline trace with the same seed, replayed on a fresh network.
+	events, err := GenerateTrace(set, pattern, rate, cfg.PacketLength, cycles, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	replayNet, err := New(cfg, routing.NewDOR(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRes, err := ReplayTrace(replayNet, events, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repRes.Drained {
+		t.Fatal("replay did not drain")
+	}
+	if repRes.Packets != liveRes.MeasuredPackets {
+		t.Fatalf("replay %d packets, live %d", repRes.Packets, liveRes.MeasuredPackets)
+	}
+	if repRes.AvgLatency != liveRes.AvgLatency {
+		t.Fatalf("replay latency %v, live %v", repRes.AvgLatency, liveRes.AvgLatency)
+	}
+}
+
+func TestReplayOnSprintRegion(t *testing.T) {
+	cfg := DefaultConfig()
+	m := mesh.New(4, 4)
+	region := sprintRegion(t, m, 6)
+	set := traffic.NewSet(region.ActiveNodes())
+	events, err := GenerateTrace(set, traffic.NewUniform(6), 0.1, cfg.PacketLength, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(cfg, routing.NewCDOR(region), region.ActiveNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTrace(net, events, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained || res.Packets != int64(len(events)) {
+		t.Fatalf("replay incomplete: %+v (want %d packets)", res, len(events))
+	}
+}

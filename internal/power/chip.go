@@ -1,0 +1,232 @@
+package power
+
+import "fmt"
+
+// CoreState is the power state of one core (and its tile resources).
+type CoreState int
+
+// Core power states.
+const (
+	// CoreActive runs at full voltage/frequency.
+	CoreActive CoreState = iota
+	// CoreIdle is clock-gated but not power-gated: leakage remains (the
+	// "naive fine-grained sprinting" of Figure 8).
+	CoreIdle
+	// CoreGated is power-gated dark silicon: negligible power.
+	CoreGated
+)
+
+// String returns the state name.
+func (s CoreState) String() string {
+	switch s {
+	case CoreActive:
+		return "active"
+	case CoreIdle:
+		return "idle"
+	case CoreGated:
+		return "gated"
+	default:
+		return fmt.Sprintf("CoreState(%d)", int(s))
+	}
+}
+
+// ChipComponent identifies a chip-level power component (Figure 3's bars).
+type ChipComponent int
+
+// Chip power components.
+const (
+	CompCore ChipComponent = iota
+	CompL2
+	CompNoC
+	CompMC
+	CompOther
+	numChipComponents
+)
+
+// String returns the component name.
+func (c ChipComponent) String() string {
+	switch c {
+	case CompCore:
+		return "core"
+	case CompL2:
+		return "L2"
+	case CompNoC:
+		return "NoC"
+	case CompMC:
+		return "MC"
+	case CompOther:
+		return "others"
+	default:
+		return fmt.Sprintf("ChipComponent(%d)", int(c))
+	}
+}
+
+// MarshalText renders the component name in JSON map keys and text output.
+func (c ChipComponent) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// ChipComponents lists all chip power components.
+func ChipComponents() []ChipComponent {
+	out := make([]ChipComponent, numChipComponents)
+	for i := range out {
+		out[i] = ChipComponent(i)
+	}
+	return out
+}
+
+// ChipParams is the McPAT-like Niagara2-class chip power model: watts per
+// component at the nominal corner (1.0 V, 2 GHz, 45 nm).
+type ChipParams struct {
+	// CoreActiveW is one core running at full frequency.
+	CoreActiveW float64
+	// CoreIdleW is one clock-gated (but not power-gated) core: leakage
+	// plus residual clocking.
+	CoreIdleW float64
+	// CoreGatedW is one power-gated core (drowsy retention, ~0).
+	CoreGatedW float64
+	// L2BankW is one tile's shared-L2 bank (always on: it holds shared
+	// state and the directory, which is why a gated-off node would block
+	// shared-resource access without NoC support).
+	L2BankW float64
+	// NoCTileW is one tile's router+links when powered on, at chip-model
+	// (McPAT) granularity.
+	NoCTileW float64
+	// MCW is the memory-controller power (one controller per chip in
+	// this model; the master corner sits next to it).
+	MCW float64
+	// OtherW is PCIe and miscellaneous I/O.
+	OtherW float64
+	// CoreDynFraction is the dynamic share of CoreActiveW at the nominal
+	// corner, used when scaling core power to other (V, f) points.
+	CoreDynFraction float64
+}
+
+// DefaultChipParams returns the Niagara2-calibrated model. The constants
+// are fitted so that nominal operation (one active core, NoC un-gated)
+// reproduces Figure 3's NoC shares: 18 %, 26 %, 35 %, 42 % of chip power
+// for 4-, 8-, 16-, 32-core chips.
+func DefaultChipParams() ChipParams {
+	return ChipParams{
+		CoreActiveW:     5.4,
+		CoreIdleW:       3.2,
+		CoreGatedW:      0.01,
+		L2BankW:         0.50,
+		NoCTileW:        0.55,
+		MCW:             1.5,
+		OtherW:          1.5,
+		CoreDynFraction: 0.7,
+	}
+}
+
+// ChipBreakdown is chip power in watts per component.
+type ChipBreakdown map[ChipComponent]float64
+
+// Total returns total chip power in watts.
+func (b ChipBreakdown) Total() float64 {
+	var s float64
+	for _, v := range b {
+		s += v
+	}
+	return s
+}
+
+// Share returns component c's fraction of total chip power.
+func (b ChipBreakdown) Share(c ChipComponent) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b[c] / t
+}
+
+// ChipPower computes chip power for a chip of n tiles with the given
+// per-core states and number of powered NoC tiles. Shared L2 banks and
+// memory controllers stay on regardless of core state.
+func (p ChipParams) ChipPower(states []CoreState, nocTilesOn int) (ChipBreakdown, error) {
+	n := len(states)
+	if n == 0 {
+		return nil, fmt.Errorf("power: no cores")
+	}
+	if nocTilesOn < 0 || nocTilesOn > n {
+		return nil, fmt.Errorf("power: %d NoC tiles on for %d tiles", nocTilesOn, n)
+	}
+	b := ChipBreakdown{}
+	for _, s := range states {
+		switch s {
+		case CoreActive:
+			b[CompCore] += p.CoreActiveW
+		case CoreIdle:
+			b[CompCore] += p.CoreIdleW
+		case CoreGated:
+			b[CompCore] += p.CoreGatedW
+		default:
+			return nil, fmt.Errorf("power: unknown core state %v", s)
+		}
+	}
+	b[CompL2] = float64(n) * p.L2BankW
+	b[CompNoC] = float64(nocTilesOn) * p.NoCTileW
+	b[CompMC] = p.MCW
+	b[CompOther] = p.OtherW
+	return b, nil
+}
+
+// NominalStates returns the conventional nominal-mode state vector: one
+// active core (the master), all others power-gated.
+func NominalStates(n int) []CoreState {
+	states := make([]CoreState, n)
+	for i := 1; i < n; i++ {
+		states[i] = CoreGated
+	}
+	return states
+}
+
+// SprintStates returns the state vector for a sprint at the given level
+// under the given scheme: level cores active; the remainder idle (naive
+// fine-grained, no gating) or gated (NoC-sprinting / dark).
+func SprintStates(n, level int, gateRest bool) []CoreState {
+	states := make([]CoreState, n)
+	rest := CoreIdle
+	if gateRest {
+		rest = CoreGated
+	}
+	for i := range states {
+		if i < level {
+			states[i] = CoreActive
+		} else {
+			states[i] = rest
+		}
+	}
+	return states
+}
+
+// CorePowerOnly returns just the core component of a sprint configuration,
+// matching Figure 8's y-axis (core power dissipation).
+func (p ChipParams) CorePowerOnly(n, level int, gateRest bool) float64 {
+	var total float64
+	for _, s := range SprintStates(n, level, gateRest) {
+		switch s {
+		case CoreActive:
+			total += p.CoreActiveW
+		case CoreIdle:
+			total += p.CoreIdleW
+		case CoreGated:
+			total += p.CoreGatedW
+		}
+	}
+	return total
+}
+
+// CoreActiveAt scales one active core's power to an arbitrary operating
+// corner relative to Nominal (1.0 V, 2 GHz): the dynamic share scales with
+// V²·f, the leakage share with V. This is how "dim silicon" — many cores at
+// reduced voltage/frequency — trades against "dark silicon" — few cores at
+// full speed.
+func (p ChipParams) CoreActiveAt(c Corner) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	vr := c.VDD / Nominal.VDD
+	fr := c.FreqHz / Nominal.FreqHz
+	dyn := p.CoreActiveW * p.CoreDynFraction * vr * vr * fr
+	leak := p.CoreActiveW * (1 - p.CoreDynFraction) * vr
+	return dyn + leak, nil
+}

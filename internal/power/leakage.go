@@ -1,0 +1,102 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Leakage-temperature feedback: leakage current grows roughly exponentially
+// with die temperature, so a sprint's heat raises its own power. This is
+// the second-order effect behind the paper's dark-silicon premise ("we
+// cannot scale threshold voltage without exponentially increasing
+// leakage"); the feedback solver quantifies how much harder full-sprinting
+// is hit than a fine-grained sprint.
+
+// LeakageFeedback models chip-level temperature-dependent leakage.
+type LeakageFeedback struct {
+	// LeakFractionAtRef is the fraction of chip power that is leakage at
+	// the reference temperature.
+	LeakFractionAtRef float64
+	// RefK is the temperature the base power figures are specified at.
+	RefK float64
+	// CoeffPerK is the exponential leakage growth rate (typ. 0.008–0.015
+	// per kelvin at 45 nm).
+	CoeffPerK float64
+}
+
+// DefaultLeakageFeedback returns 45 nm-class feedback: 30 % leakage at the
+// 45 °C reference, growing ~1.2 %/K.
+func DefaultLeakageFeedback() LeakageFeedback {
+	return LeakageFeedback{LeakFractionAtRef: 0.30, RefK: 318.15, CoeffPerK: 0.012}
+}
+
+// Validate reports the first invalid field, or nil.
+func (l LeakageFeedback) Validate() error {
+	if l.LeakFractionAtRef < 0 || l.LeakFractionAtRef >= 1 {
+		return fmt.Errorf("power: leakage fraction %g outside [0,1)", l.LeakFractionAtRef)
+	}
+	if l.RefK <= 0 {
+		return fmt.Errorf("power: non-positive reference temperature")
+	}
+	if l.CoeffPerK < 0 {
+		return fmt.Errorf("power: negative leakage coefficient")
+	}
+	return nil
+}
+
+// PowerAt returns the chip power at die temperature tempK, given the base
+// power at the reference temperature: the dynamic share is unchanged, the
+// leakage share scales by exp(coeff·ΔT).
+func (l LeakageFeedback) PowerAt(basePowerW, tempK float64) float64 {
+	dyn := basePowerW * (1 - l.LeakFractionAtRef)
+	leak := basePowerW * l.LeakFractionAtRef * math.Exp(l.CoeffPerK*(tempK-l.RefK))
+	return dyn + leak
+}
+
+// SteadyResult is the outcome of the coupled power-thermal fixed point.
+type SteadyResult struct {
+	// TempK and PowerW are the self-consistent steady operating point.
+	TempK, PowerW float64
+	// Amplification is PowerW divided by the base power: the leakage tax
+	// the sprint pays for its own heat.
+	Amplification float64
+	// Runaway reports thermal runaway: leakage growth outpaces cooling and
+	// no steady state exists below the cap.
+	Runaway bool
+	// Iterations is the number of fixed-point steps used.
+	Iterations int
+}
+
+// SolveSteady finds the self-consistent steady state of T = ambient +
+// P(T)·Rth with P(T) from PowerAt, capping the search at capK (pass the
+// junction limit; a result at or above the cap is reported as runaway).
+func (l LeakageFeedback) SolveSteady(basePowerW, ambientK, rthKperW, capK float64) (SteadyResult, error) {
+	if err := l.Validate(); err != nil {
+		return SteadyResult{}, err
+	}
+	if basePowerW < 0 || ambientK <= 0 || rthKperW <= 0 || capK <= ambientK {
+		return SteadyResult{}, fmt.Errorf("power: invalid steady-state inputs")
+	}
+	const (
+		maxIter = 10000
+		tol     = 1e-9
+	)
+	temp := ambientK
+	for i := 1; i <= maxIter; i++ {
+		p := l.PowerAt(basePowerW, temp)
+		next := ambientK + p*rthKperW
+		if next >= capK {
+			return SteadyResult{TempK: capK, PowerW: l.PowerAt(basePowerW, capK),
+				Amplification: l.PowerAt(basePowerW, capK) / basePowerW,
+				Runaway:       true, Iterations: i}, nil
+		}
+		// Damped iteration keeps convergence robust near the knee.
+		next = temp + 0.5*(next-temp)
+		if math.Abs(next-temp) < tol {
+			p = l.PowerAt(basePowerW, next)
+			return SteadyResult{TempK: next, PowerW: p, Amplification: p / basePowerW, Iterations: i}, nil
+		}
+		temp = next
+	}
+	return SteadyResult{}, fmt.Errorf("power: leakage fixed point did not converge")
+}

@@ -1,0 +1,121 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeakageFeedbackValidate(t *testing.T) {
+	if err := DefaultLeakageFeedback().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []LeakageFeedback{
+		{LeakFractionAtRef: -0.1, RefK: 300, CoeffPerK: 0.01},
+		{LeakFractionAtRef: 1.0, RefK: 300, CoeffPerK: 0.01},
+		{LeakFractionAtRef: 0.3, RefK: 0, CoeffPerK: 0.01},
+		{LeakFractionAtRef: 0.3, RefK: 300, CoeffPerK: -1},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad feedback %d accepted", i)
+		}
+	}
+}
+
+func TestPowerAtReferenceIsBase(t *testing.T) {
+	l := DefaultLeakageFeedback()
+	if got := l.PowerAt(100, l.RefK); math.Abs(got-100) > 1e-9 {
+		t.Errorf("PowerAt(ref) = %v, want 100", got)
+	}
+	// +20 K: leakage share grows by exp(0.24) ≈ 1.27.
+	want := 70 + 30*math.Exp(0.012*20)
+	if got := l.PowerAt(100, l.RefK+20); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PowerAt(ref+20) = %v, want %v", got, want)
+	}
+	// Cooler than reference shrinks leakage.
+	if l.PowerAt(100, l.RefK-20) >= 100 {
+		t.Error("cooling should reduce power")
+	}
+}
+
+func TestSolveSteadyConverges(t *testing.T) {
+	l := DefaultLeakageFeedback()
+	// Nominal-class power on the calibrated package: well below runaway.
+	res, err := l.SolveSteady(25.4, 318.15, 1.0, 358.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runaway {
+		t.Fatal("nominal power should not run away")
+	}
+	// Fixed point consistency: T = amb + P(T)*R.
+	if math.Abs(res.TempK-(318.15+res.PowerW*1.0)) > 1e-6 {
+		t.Errorf("fixed point inconsistent: T=%v P=%v", res.TempK, res.PowerW)
+	}
+	if res.Amplification <= 1 || res.Amplification > 1.5 {
+		t.Errorf("amplification %v implausible", res.Amplification)
+	}
+}
+
+func TestSolveSteadyRunawayAtHighPower(t *testing.T) {
+	l := DefaultLeakageFeedback()
+	// Full-sprint-class power cannot settle below the junction limit.
+	res, err := l.SolveSteady(190, 318.15, 1.0, 358.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Runaway {
+		t.Errorf("190 W should exceed the cap: %+v", res)
+	}
+	if res.TempK != 358.15 {
+		t.Errorf("runaway should report the cap temperature, got %v", res.TempK)
+	}
+}
+
+func TestSolveSteadyMonotoneAmplification(t *testing.T) {
+	l := DefaultLeakageFeedback()
+	prev := 0.0
+	for _, p := range []float64{5, 15, 25, 30} {
+		res, err := l.SolveSteady(p, 318.15, 1.0, 358.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Runaway {
+			t.Fatalf("%g W ran away", p)
+		}
+		if res.Amplification <= prev {
+			t.Errorf("amplification not increasing with power at %g W", p)
+		}
+		prev = res.Amplification
+	}
+}
+
+func TestSolveSteadyValidation(t *testing.T) {
+	l := DefaultLeakageFeedback()
+	cases := []struct{ base, amb, rth, cap float64 }{
+		{-1, 318, 1, 358},
+		{10, 0, 1, 358},
+		{10, 318, 0, 358},
+		{10, 318, 1, 300},
+	}
+	for i, c := range cases {
+		if _, err := l.SolveSteady(c.base, c.amb, c.rth, c.cap); err == nil {
+			t.Errorf("bad inputs %d accepted", i)
+		}
+	}
+	bad := LeakageFeedback{LeakFractionAtRef: -1, RefK: 300, CoeffPerK: 0.01}
+	if _, err := bad.SolveSteady(10, 318, 1, 358); err == nil {
+		t.Error("invalid feedback accepted")
+	}
+}
+
+func TestZeroCoeffIsTemperatureIndependent(t *testing.T) {
+	l := LeakageFeedback{LeakFractionAtRef: 0.3, RefK: 318.15, CoeffPerK: 0}
+	res, err := l.SolveSteady(30, 318.15, 1.0, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Amplification-1) > 1e-9 {
+		t.Errorf("zero coefficient should not amplify, got %v", res.Amplification)
+	}
+}

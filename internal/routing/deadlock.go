@@ -1,0 +1,165 @@
+package routing
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+)
+
+// channel identifies a directed physical link from router "from" to router
+// "to". Injection/ejection (Local) channels cannot participate in cyclic
+// dependencies and are excluded, per standard channel-dependency analysis.
+type channel struct {
+	from, to int
+}
+
+// DependencyGraph is the channel-dependency graph (CDG) induced by a routing
+// function over a set of routable nodes: there is an edge c1 -> c2 whenever
+// some routed packet can hold c1 while requesting c2.
+type DependencyGraph struct {
+	adj map[channel]map[channel]bool
+}
+
+// BuildDependencyGraph routes every (src,dst) pair among routable under alg
+// and records every consecutive channel pair along each path.
+func BuildDependencyGraph(m mesh.Mesh, alg Algorithm, routable []int) (*DependencyGraph, error) {
+	if routable == nil {
+		routable = make([]int, m.Nodes())
+		for i := range routable {
+			routable[i] = i
+		}
+	}
+	g := &DependencyGraph{adj: make(map[channel]map[channel]bool)}
+	for _, src := range routable {
+		for _, dst := range routable {
+			if src == dst {
+				continue
+			}
+			path, err := Path(m, alg, src, dst)
+			if err != nil {
+				return nil, fmt.Errorf("routing: CDG build: %w", err)
+			}
+			for i := 0; i+2 < len(path); i++ {
+				c1 := channel{path[i], path[i+1]}
+				c2 := channel{path[i+1], path[i+2]}
+				if g.adj[c1] == nil {
+					g.adj[c1] = make(map[channel]bool)
+				}
+				g.adj[c1][c2] = true
+			}
+		}
+	}
+	return g, nil
+}
+
+// Channels returns the number of channels that appear in the graph.
+func (g *DependencyGraph) Channels() int {
+	seen := make(map[channel]bool)
+	for c, outs := range g.adj {
+		seen[c] = true
+		for d := range outs {
+			seen[d] = true
+		}
+	}
+	return len(seen)
+}
+
+// Edges returns the number of dependency edges.
+func (g *DependencyGraph) Edges() int {
+	n := 0
+	for _, outs := range g.adj {
+		n += len(outs)
+	}
+	return n
+}
+
+// HasCycle reports whether the CDG contains a directed cycle. An acyclic
+// CDG proves the routing function deadlock-free (Dally & Seitz).
+func (g *DependencyGraph) HasCycle() bool {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS stack
+		black = 2 // fully explored
+	)
+	color := make(map[channel]int, len(g.adj))
+	var visit func(c channel) bool
+	visit = func(c channel) bool {
+		color[c] = grey
+		for next := range g.adj[c] {
+			switch color[next] {
+			case grey:
+				return true
+			case white:
+				if visit(next) {
+					return true
+				}
+			}
+		}
+		color[c] = black
+		return false
+	}
+	for c := range g.adj {
+		if color[c] == white && visit(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Turn classifies a pair of consecutive hop directions, e.g. "NE" for a
+// packet travelling North that turns East.
+type Turn struct {
+	From, To mesh.Direction
+}
+
+// String returns the compact two-letter turn name (e.g. "NE", "WS").
+func (t Turn) String() string {
+	letter := func(d mesh.Direction) string {
+		switch d {
+		case mesh.North:
+			return "N"
+		case mesh.East:
+			return "E"
+		case mesh.South:
+			return "S"
+		case mesh.West:
+			return "W"
+		default:
+			return "?"
+		}
+	}
+	return letter(t.From) + letter(t.To)
+}
+
+// TurnsUsed routes every pair among routable and returns the set of turns
+// (direction changes) the algorithm performs, useful for turn-model
+// reasoning about deadlock freedom: e.g. plain DOR uses only {EN, ES, WN,
+// WS}; CDOR adds NE but never WN-after-NE cycles.
+func TurnsUsed(m mesh.Mesh, alg Algorithm, routable []int) (map[Turn]int, error) {
+	if routable == nil {
+		routable = make([]int, m.Nodes())
+		for i := range routable {
+			routable[i] = i
+		}
+	}
+	turns := make(map[Turn]int)
+	for _, src := range routable {
+		for _, dst := range routable {
+			if src == dst {
+				continue
+			}
+			path, err := Path(m, alg, src, dst)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i+2 < len(path); i++ {
+				d1 := m.DirectionTo(path[i], path[i+1])
+				d2 := m.DirectionTo(path[i+1], path[i+2])
+				if d1 != d2 {
+					turns[Turn{d1, d2}]++
+				}
+			}
+		}
+	}
+	return turns, nil
+}

@@ -1,0 +1,231 @@
+// Package routing implements the routing algorithms of the paper: classic
+// dimension-order (X-Y) routing for full meshes, and CDOR — Convex
+// Dimension-Order Routing (Algorithm 2) — which routes inside the convex
+// active region produced by topological sprinting using two connectivity
+// bits per router. It also provides a channel-dependency-graph deadlock
+// checker used to validate deadlock freedom.
+package routing
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/sprint"
+)
+
+// Algorithm decides, at each router, the output port for a packet.
+type Algorithm interface {
+	// NextPort returns the output direction a packet destined to dst takes
+	// at router cur. It returns mesh.Local when cur == dst. It returns an
+	// error if the pair is not routable (e.g. a dark node under CDOR).
+	NextPort(cur, dst int) (mesh.Direction, error)
+	// Name identifies the algorithm in reports.
+	Name() string
+}
+
+// DOR is conventional X-Y dimension-order routing on a full mesh: packets
+// first travel along X to the destination column, then along Y.
+type DOR struct {
+	m mesh.Mesh
+}
+
+// NewDOR returns X-Y routing for m.
+func NewDOR(m mesh.Mesh) *DOR { return &DOR{m: m} }
+
+// Name implements Algorithm.
+func (d *DOR) Name() string { return "DOR" }
+
+// NextPort implements Algorithm.
+func (d *DOR) NextPort(cur, dst int) (mesh.Direction, error) {
+	c, t := d.m.Coord(cur), d.m.Coord(dst)
+	switch {
+	case t.X > c.X:
+		return mesh.East, nil
+	case t.X < c.X:
+		return mesh.West, nil
+	case t.Y > c.Y:
+		return mesh.South, nil
+	case t.Y < c.Y:
+		return mesh.North, nil
+	default:
+		return mesh.Local, nil
+	}
+}
+
+// CDOR is the paper's Algorithm 2: X-Y routing over the convex sprint
+// region. Each router holds two connectivity bits, Cw and Ce, indicating
+// whether its west/east neighbour is powered. A packet needing a horizontal
+// hop through an unpowered link instead escapes one hop toward the master
+// row (North for the paper's top-left master); convexity of the region
+// guarantees the escape stays in-region and that the horizontal link becomes
+// available within a bounded number of escapes.
+//
+// The NE turn this introduces cannot close a dependency cycle: an NE turn at
+// router r implies the east output of r's southern neighbour is unpowered,
+// so the WN turn that would complete the cycle cannot occur (§3.2). The
+// Deadlock checker in this package verifies the claim exhaustively.
+type CDOR struct {
+	region *sprint.Region
+	// masterY is the master's row; blocked horizontal moves escape one hop
+	// vertically toward this row, where the region is widest.
+	masterY int
+}
+
+// NewCDOR returns CDOR over the given sprint region. The paper places the
+// master in the top-left corner (escapes go North); this implementation
+// generalises the escape to "toward the master row", which also covers the
+// paper's alternative master placements (§3.2: chip centre, OS core, or
+// MC-adjacent node). Deadlock freedom is verified per region by the
+// channel-dependency checker in this package; the paper's turn-model
+// argument covers corner masters directly.
+func NewCDOR(r *sprint.Region) *CDOR {
+	return &CDOR{region: r, masterY: r.Mesh().Coord(r.Master()).Y}
+}
+
+// Region returns the sprint region this instance routes over.
+func (c *CDOR) Region() *sprint.Region { return c.region }
+
+// Name implements Algorithm.
+func (c *CDOR) Name() string { return fmt.Sprintf("CDOR(level=%d)", c.region.Level()) }
+
+// NextPort implements Algorithm. Both cur and dst must be active nodes.
+func (c *CDOR) NextPort(cur, dst int) (mesh.Direction, error) {
+	if !c.region.Active(cur) {
+		return mesh.Local, fmt.Errorf("routing: CDOR at dark node %d", cur)
+	}
+	if !c.region.Active(dst) {
+		return mesh.Local, fmt.Errorf("routing: CDOR destination %d is dark", dst)
+	}
+	m := c.region.Mesh()
+	cc, tc := m.Coord(cur), m.Coord(dst)
+	switch {
+	case tc.X > cc.X:
+		if c.region.Connected(cur, mesh.East) {
+			return mesh.East, nil
+		}
+		return c.escapePort(cur)
+	case tc.X < cc.X:
+		if c.region.Connected(cur, mesh.West) {
+			return mesh.West, nil
+		}
+		return c.escapePort(cur)
+	case tc.Y > cc.Y:
+		return mesh.South, nil
+	case tc.Y < cc.Y:
+		return mesh.North, nil
+	default:
+		return mesh.Local, nil
+	}
+}
+
+func (c *CDOR) escapePort(cur int) (mesh.Direction, error) {
+	cc := c.region.Mesh().Coord(cur)
+	escape := mesh.North
+	if cc.Y < c.masterY {
+		escape = mesh.South
+	} else if cc.Y == c.masterY {
+		return mesh.Local, fmt.Errorf("routing: CDOR stuck at node %d: horizontal link dark on the master row", cur)
+	}
+	if c.region.Connected(cur, escape) {
+		return escape, nil
+	}
+	return mesh.Local, fmt.Errorf("routing: CDOR stuck at node %d: horizontal link dark and no %v escape", cur, escape)
+}
+
+// Path returns the node sequence (inclusive of endpoints) a packet follows
+// from src to dst under alg. It errors if the route does not terminate
+// within nodes*4 hops, which would indicate a routing livelock.
+func Path(m mesh.Mesh, alg Algorithm, src, dst int) ([]int, error) {
+	path := []int{src}
+	cur := src
+	maxHops := m.Nodes() * 4
+	for cur != dst {
+		d, err := alg.NextPort(cur, dst)
+		if err != nil {
+			return nil, err
+		}
+		if d == mesh.Local {
+			return nil, fmt.Errorf("routing: %s ejects at %d before reaching %d", alg.Name(), cur, dst)
+		}
+		next, ok := m.Neighbor(cur, d)
+		if !ok {
+			return nil, fmt.Errorf("routing: %s routes off-mesh at %d toward %v", alg.Name(), cur, d)
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > maxHops {
+			return nil, fmt.Errorf("routing: %s livelock from %d to %d", alg.Name(), src, dst)
+		}
+	}
+	return path, nil
+}
+
+// Table is a precomputed routing table: output port per (current, dest)
+// pair. The NoC simulator uses it on the hot path instead of recomputing
+// routes per flit; building it also validates every pair terminates.
+type Table struct {
+	m     mesh.Mesh
+	name  string
+	nodes []int // routable node ids
+	port  []mesh.Direction
+	ok    []bool
+}
+
+// BuildTable precomputes alg over all pairs of nodes in routable (or all
+// mesh nodes if routable is nil). Pairs that alg cannot route are marked
+// unreachable rather than failing the build, but every routable pair is
+// verified to terminate.
+func BuildTable(m mesh.Mesh, alg Algorithm, routable []int) (*Table, error) {
+	if routable == nil {
+		routable = make([]int, m.Nodes())
+		for i := range routable {
+			routable[i] = i
+		}
+	}
+	n := m.Nodes()
+	t := &Table{
+		m:     m,
+		name:  alg.Name(),
+		nodes: append([]int(nil), routable...),
+		port:  make([]mesh.Direction, n*n),
+		ok:    make([]bool, n*n),
+	}
+	for _, src := range routable {
+		for _, dst := range routable {
+			if _, err := Path(m, alg, src, dst); err != nil {
+				return nil, fmt.Errorf("routing: table build %s pair %d->%d: %w", alg.Name(), src, dst, err)
+			}
+		}
+	}
+	// Paths verified; record the per-hop decision for every (cur,dst).
+	for _, cur := range routable {
+		for _, dst := range routable {
+			d, err := alg.NextPort(cur, dst)
+			if err != nil {
+				continue
+			}
+			t.port[cur*n+dst] = d
+			t.ok[cur*n+dst] = true
+		}
+	}
+	return t, nil
+}
+
+// Name returns the name of the algorithm the table was built from.
+func (t *Table) Name() string { return t.name }
+
+// Nodes returns the routable node ids the table covers.
+func (t *Table) Nodes() []int { return append([]int(nil), t.nodes...) }
+
+// NextPort implements Algorithm using the precomputed table.
+func (t *Table) NextPort(cur, dst int) (mesh.Direction, error) {
+	idx := cur*t.m.Nodes() + dst
+	if !t.ok[idx] {
+		return mesh.Local, fmt.Errorf("routing: table %s has no route %d->%d", t.name, cur, dst)
+	}
+	return t.port[idx], nil
+}
+
+var _ Algorithm = (*Table)(nil)
+var _ Algorithm = (*DOR)(nil)
+var _ Algorithm = (*CDOR)(nil)

@@ -1,0 +1,242 @@
+// Package sprint implements the topological side of fine-grained sprinting:
+// Algorithm 1 of the paper (the activation order that grows a convex region
+// of routers around the master node) and the Region type that captures which
+// routers/links are powered during a sprint at a given level.
+package sprint
+
+import (
+	"fmt"
+	"sort"
+
+	"nocsprint/internal/mesh"
+)
+
+// Metric selects the distance metric used to order node activation.
+// The paper argues for Euclidean distance (§3.2): Hamming distance minimises
+// the new node's distance to the master but produces longer inter-node paths
+// (its 4-core example picks node 2 instead of the better node 5).
+type Metric int
+
+// Supported activation-ordering metrics.
+const (
+	// Euclidean orders nodes by squared Euclidean distance to the master
+	// (the paper's choice, Algorithm 1).
+	Euclidean Metric = iota
+	// Hamming orders nodes by Manhattan distance to the master (the
+	// baseline Algorithm 1 argues against).
+	Hamming
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case Hamming:
+		return "hamming"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// ActivationOrder implements Algorithm 1: it returns all node ids of m
+// sorted by ascending distance from the master node, ties broken by node
+// index. The first element is always the master itself. The returned slice
+// has length m.Nodes().
+func ActivationOrder(m mesh.Mesh, master int, metric Metric) []int {
+	mc := m.Coord(master)
+	order := make([]int, m.Nodes())
+	for i := range order {
+		order[i] = i
+	}
+	dist := func(id int) int {
+		c := m.Coord(id)
+		if metric == Hamming {
+			return c.Hamming(mc)
+		}
+		return c.EuclideanSq(mc)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := dist(order[a]), dist(order[b])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Region is the set of active nodes during a sprint: the first Level nodes
+// of the activation order. A Region also knows, for every node, whether its
+// four mesh neighbours are active — the per-router connectivity bits CDOR
+// consumes (the paper's Cw and Ce, plus Cn and Cs for completeness).
+type Region struct {
+	mesh   mesh.Mesh
+	master int
+	metric Metric
+	level  int
+	order  []int
+	active []bool
+}
+
+// NewRegion returns the sprint region at the given level (number of active
+// cores, 1..m.Nodes()) grown from master with the given metric. It panics on
+// an out-of-range level or master; both are configuration-time values.
+func NewRegion(m mesh.Mesh, master, level int, metric Metric) *Region {
+	if master < 0 || master >= m.Nodes() {
+		panic(fmt.Sprintf("sprint: master node %d outside mesh", master))
+	}
+	if level < 1 || level > m.Nodes() {
+		panic(fmt.Sprintf("sprint: level %d outside [1,%d]", level, m.Nodes()))
+	}
+	order := ActivationOrder(m, master, metric)
+	active := make([]bool, m.Nodes())
+	for _, id := range order[:level] {
+		active[id] = true
+	}
+	return &Region{mesh: m, master: master, metric: metric, level: level, order: order, active: active}
+}
+
+// Mesh returns the underlying mesh.
+func (r *Region) Mesh() mesh.Mesh { return r.mesh }
+
+// Master returns the master node id.
+func (r *Region) Master() int { return r.master }
+
+// Level returns the number of active nodes.
+func (r *Region) Level() int { return r.level }
+
+// Metric returns the activation-ordering metric.
+func (r *Region) Metric() Metric { return r.metric }
+
+// Order returns the full activation order (a copy).
+func (r *Region) Order() []int { return append([]int(nil), r.order...) }
+
+// Active reports whether node id is powered during this sprint.
+func (r *Region) Active(id int) bool { return r.active[id] }
+
+// ActiveNodes returns the ids of the active nodes in activation order.
+func (r *Region) ActiveNodes() []int { return append([]int(nil), r.order[:r.level]...) }
+
+// DarkNodes returns the ids of the gated (dark) nodes in activation order.
+func (r *Region) DarkNodes() []int { return append([]int(nil), r.order[r.level:]...) }
+
+// Connected reports whether the neighbour of id in direction d exists and is
+// active — i.e. whether the link from id in direction d is powered. This is
+// the generalised connectivity bit; Cw and Ce from the paper are
+// Connected(id, West) and Connected(id, East).
+func (r *Region) Connected(id int, d mesh.Direction) bool {
+	n, ok := r.mesh.Neighbor(id, d)
+	return ok && r.active[n]
+}
+
+// ConnectivityBits returns the paper's two per-router bits (Cw, Ce) for node
+// id: whether its west and east neighbours are connected.
+func (r *Region) ConnectivityBits(id int) (cw, ce bool) {
+	return r.Connected(id, mesh.West), r.Connected(id, mesh.East)
+}
+
+// ActiveLinks returns the number of powered bidirectional mesh links: links
+// whose both endpoints are active.
+func (r *Region) ActiveLinks() int {
+	n := 0
+	for id := 0; id < r.mesh.Nodes(); id++ {
+		if !r.active[id] {
+			continue
+		}
+		// Count each undirected link once via its East/South endpoint.
+		for _, d := range [...]mesh.Direction{mesh.East, mesh.South} {
+			if r.Connected(id, d) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// IsConvex reports whether the active set is convex in the Euclidean sense
+// used by the paper: for every pair of active nodes, every mesh node whose
+// centre lies on the segment joining them is also active. (For integer grid
+// points, the nodes on the segment are exactly the lattice points it
+// passes through.)
+func (r *Region) IsConvex() bool {
+	nodes := r.order[:r.level]
+	for _, a := range nodes {
+		for _, b := range nodes {
+			ca, cb := r.mesh.Coord(a), r.mesh.Coord(b)
+			for _, p := range latticePointsOnSegment(ca, cb) {
+				if !r.active[r.mesh.ID(p)] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// latticePointsOnSegment returns the integer grid points lying exactly on
+// the closed segment from a to b.
+func latticePointsOnSegment(a, b mesh.Coord) []mesh.Coord {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	if dx == 0 && dy == 0 {
+		return []mesh.Coord{a}
+	}
+	g := gcd(abs(dx), abs(dy))
+	sx, sy := dx/g, dy/g
+	pts := make([]mesh.Coord, 0, g+1)
+	for i := 0; i <= g; i++ {
+		pts = append(pts, mesh.Coord{X: a.X + i*sx, Y: a.Y + i*sy})
+	}
+	return pts
+}
+
+// IsStaircase reports whether the active set is "downward-closed" toward the
+// master corner: for every active node, stepping one hop toward the master
+// in either dimension stays active. For a corner master this property makes
+// CDOR's escape-North rule terminate; it holds for every Euclidean-ordered
+// prefix grown from a corner (verified by property tests).
+func (r *Region) IsStaircase() bool {
+	mc := r.mesh.Coord(r.master)
+	for id := 0; id < r.mesh.Nodes(); id++ {
+		if !r.active[id] {
+			continue
+		}
+		c := r.mesh.Coord(id)
+		if c.X != mc.X {
+			step := c
+			if c.X > mc.X {
+				step.X--
+			} else {
+				step.X++
+			}
+			if !r.active[r.mesh.ID(step)] {
+				return false
+			}
+		}
+		if c.Y != mc.Y {
+			step := c
+			if c.Y > mc.Y {
+				step.Y--
+			} else {
+				step.Y++
+			}
+			if !r.active[r.mesh.ID(step)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
