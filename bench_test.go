@@ -184,6 +184,38 @@ func BenchmarkFig11Sweep(b *testing.B) {
 	b.ReportMetric(series[1].PreSatPowerCut, "pow-cut-8c")
 }
 
+// benchFig11Workers runs the reduced Figure 11 sweep at a fixed worker
+// count; the Serial/Parallel pair below measures the speedup from fanning
+// the sweep's (level, rate) points across cores. Results are identical at
+// any worker count (each point carries its own seed), so the pair differs
+// only in wall-clock time.
+func benchFig11Workers(b *testing.B, workers int) {
+	b.Helper()
+	s := newSprinter(b)
+	sim := benchSim
+	sim.Workers = workers
+	params := core.Fig11Params{
+		Rates:   []float64{0.05, 0.15, 0.25},
+		Samples: 3,
+		Sim:     sim,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Fig11Sweep(s, []int{4, 8}, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11SweepSerial pins the sweep to one worker (the legacy
+// serial path).
+func BenchmarkFig11SweepSerial(b *testing.B) { benchFig11Workers(b, 1) }
+
+// BenchmarkFig11SweepParallel fans the sweep across all cores
+// (Workers=0 resolves to GOMAXPROCS); compare ns/op against
+// BenchmarkFig11SweepSerial for the parallel speedup on this machine.
+func BenchmarkFig11SweepParallel(b *testing.B) { benchFig11Workers(b, 0) }
+
 // BenchmarkFig12HeatMap regenerates Figure 12 and reports the three peak
 // temperatures (paper: 358.3/347.79/343.81 K).
 func BenchmarkFig12HeatMap(b *testing.B) {

@@ -3,17 +3,22 @@
 //
 // Usage:
 //
-//	nocsprint <experiment> [flags]
+//	nocsprint [flags] <experiment> [flags]
+//
+// Flags are accepted both before and after the experiment name.
 //
 // Experiments: table1, fig2, fig3, fig4, fig7, fig8, fig9, fig10, fig11,
 // fig12, duration, all. fig9 and fig10 share one set of simulations; "all"
-// runs everything (a few minutes of CPU for the fig11 sweep).
+// runs everything (a few minutes of CPU for the fig11 sweep when serial;
+// -workers 0 fans sweeps across all cores).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -26,20 +31,63 @@ import (
 	"nocsprint/internal/workload"
 )
 
+// options are the command-line knobs shared by every experiment.
+type options struct {
+	fast    bool
+	json    bool
+	workers int
+}
+
+// parseArgs parses flags placed before and/or after the experiment name.
+// The standard flag package stops at the first positional argument, so a
+// single Parse would silently ignore everything after the experiment
+// ("nocsprint fig11 -fast" used to run the slow sweep); the remaining
+// arguments are re-parsed against the same flag set, and leftover
+// positional arguments are an error.
+func parseArgs(args []string, output io.Writer) (options, string, error) {
+	var o options
+	fs := flag.NewFlagSet("nocsprint", flag.ContinueOnError)
+	fs.SetOutput(output)
+	fs.Usage = func() { usage(output) }
+	fs.BoolVar(&o.fast, "fast", false, "shrink simulation windows for quick smoke runs")
+	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
+	fs.IntVar(&o.workers, "workers", 0, "parallel sweep workers: 0 = all cores, 1 = serial")
+	if err := fs.Parse(args); err != nil {
+		return options{}, "", err
+	}
+	if fs.NArg() < 1 {
+		return options{}, "", errors.New("missing experiment name")
+	}
+	exp := fs.Arg(0)
+	if rest := fs.Args()[1:]; len(rest) > 0 {
+		// Re-parse with the same flag set so values from the leading parse
+		// survive (re-registering the vars would reset them to defaults).
+		if err := fs.Parse(rest); err != nil {
+			return options{}, "", err
+		}
+		if fs.NArg() > 0 {
+			return options{}, "", fmt.Errorf("unexpected argument %q after experiment %q", fs.Arg(0), exp)
+		}
+	}
+	if o.workers < 0 {
+		return options{}, "", fmt.Errorf("-workers %d: must be >= 0", o.workers)
+	}
+	return o, exp, nil
+}
+
 func main() {
-	fast := flag.Bool("fast", false, "shrink simulation windows for quick smoke runs")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
-	flag.Usage = usage
-	flag.Parse()
-	if flag.NArg() < 1 {
-		usage()
+	opts, exp, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "nocsprint: %v\n", err)
+			usage(os.Stderr)
+		}
 		os.Exit(2)
 	}
-	var err error
-	if *jsonOut {
-		err = runJSON(flag.Arg(0), *fast)
+	if opts.json {
+		err = runJSON(exp, opts)
 	} else {
-		err = run(flag.Arg(0), *fast)
+		err = run(exp, opts)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nocsprint: %v\n", err)
@@ -47,8 +95,13 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: nocsprint [-fast] <experiment>
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage: nocsprint [flags] <experiment> [flags]
+
+flags:
+  -fast        shrink simulation windows for quick smoke runs
+  -json        emit machine-readable JSON instead of tables
+  -workers N   parallel sweep workers: 0 = all cores (default), 1 = serial
 
 experiments:
   table1    system & interconnect configuration (Table 1)
@@ -74,21 +127,12 @@ experiments:
 `)
 }
 
-func run(name string, fast bool) error {
+func run(name string, o options) error {
 	s, err := core.New(core.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	sim := core.NetSimParams{}
-	fig11 := core.Fig11Params{}
-	if fast {
-		sim = core.NetSimParams{Warmup: 300, Measure: 1000, Drain: 10000}
-		fig11 = core.Fig11Params{
-			Rates:   []float64{0.05, 0.15, 0.25, 0.35},
-			Samples: 3,
-			Sim:     sim,
-		}
-	}
+	sim, fig11 := simParams(o)
 
 	switch name {
 	case "table1":
@@ -120,11 +164,11 @@ func run(name string, fast bool) error {
 	case "wires":
 		return wiresCmd(s, sim)
 	case "scale":
-		return scaleCmd(sim, fast)
+		return scaleCmd(sim, o.fast)
 	case "sensitivity":
 		return sensitivityCmd(sim)
 	case "dimdark":
-		return dimDarkCmd(s)
+		return dimDarkCmd(s, o.workers)
 	case "llc":
 		return llcCmd(s)
 	case "all":
@@ -148,9 +192,24 @@ func run(name string, fast bool) error {
 		}
 		return nil
 	default:
-		usage()
+		usage(os.Stderr)
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+}
+
+// simParams maps the CLI options onto the experiment-layer parameter
+// structs; -workers threads through to the parallel sweep runner.
+func simParams(o options) (core.NetSimParams, core.Fig11Params) {
+	sim := core.NetSimParams{Workers: o.workers}
+	if o.fast {
+		sim.Warmup, sim.Measure, sim.Drain = 300, 1000, 10000
+	}
+	fig11 := core.Fig11Params{Sim: sim}
+	if o.fast {
+		fig11.Rates = []float64{0.05, 0.15, 0.25, 0.35}
+		fig11.Samples = 3
+	}
+	return sim, fig11
 }
 
 func header(title string) {
@@ -535,17 +594,12 @@ func sensitivityCmd(sim core.NetSimParams) error {
 
 // runJSON emits the experiment's typed result as a JSON document with a
 // small metadata envelope, suitable for external plotting.
-func runJSON(name string, fast bool) error {
+func runJSON(name string, o options) error {
 	s, err := core.New(core.DefaultConfig())
 	if err != nil {
 		return err
 	}
-	sim := core.NetSimParams{}
-	fig11 := core.Fig11Params{}
-	if fast {
-		sim = core.NetSimParams{Warmup: 300, Measure: 1000, Drain: 10000}
-		fig11 = core.Fig11Params{Rates: []float64{0.05, 0.15, 0.25, 0.35}, Samples: 3, Sim: sim}
-	}
+	sim, fig11 := simParams(o)
 	var result any
 	switch name {
 	case "fig2":
@@ -574,14 +628,14 @@ func runJSON(name string, fast bool) error {
 		result, err = core.FloorplanWireStudy(s, sim)
 	case "scale":
 		widths := []int{4, 6, 8}
-		if fast {
+		if o.fast {
 			widths = []int{4, 6}
 		}
 		result, err = core.ScalingStudy(widths, sim)
 	case "sensitivity":
 		result, err = core.SensitivitySweep(sim)
 	case "dimdark":
-		result, err = core.DimVsDark(s, nil, nil)
+		result, err = core.DimVsDark(s, nil, nil, o.workers)
 	case "llc":
 		result, err = core.LLCStudy(s, core.LLCParams{})
 	default:
@@ -599,9 +653,9 @@ func runJSON(name string, fast bool) error {
 	})
 }
 
-func dimDarkCmd(s *core.Sprinter) error {
+func dimDarkCmd(s *core.Sprinter, workers int) error {
 	header("Extension: dim silicon vs dark silicon under a power budget")
-	points, err := core.DimVsDark(s, nil, nil)
+	points, err := core.DimVsDark(s, nil, nil, workers)
 	if err != nil {
 		return err
 	}

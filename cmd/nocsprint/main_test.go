@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestParseArgsTrailingFlags is the regression test for the CLI bug where
+// flags placed after the experiment name were silently ignored
+// ("nocsprint fig11 -fast" ran the slow sweep): flags must be honored on
+// both sides of the experiment.
+func TestParseArgsTrailingFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want options
+		exp  string
+	}{
+		{[]string{"fig11"}, options{}, "fig11"},
+		{[]string{"-fast", "fig11"}, options{fast: true}, "fig11"},
+		{[]string{"fig11", "-fast"}, options{fast: true}, "fig11"},
+		{[]string{"fig11", "-fast", "-json"}, options{fast: true, json: true}, "fig11"},
+		{[]string{"-json", "fig11", "-fast"}, options{fast: true, json: true}, "fig11"},
+		{[]string{"fig11", "-workers", "4"}, options{workers: 4}, "fig11"},
+		{[]string{"-workers=2", "all", "-fast"}, options{fast: true, workers: 2}, "all"},
+	}
+	for _, c := range cases {
+		got, exp, err := parseArgs(c.args, io.Discard)
+		if err != nil {
+			t.Errorf("parseArgs(%v): %v", c.args, err)
+			continue
+		}
+		if got != c.want || exp != c.exp {
+			t.Errorf("parseArgs(%v) = %+v, %q; want %+v, %q", c.args, got, exp, c.want, c.exp)
+		}
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	cases := [][]string{
+		{},                          // no experiment
+		{"-fast"},                   // flags only
+		{"fig11", "extra"},          // stray positional after experiment
+		{"fig11", "-fast", "extra"}, // stray positional after trailing flags
+		{"fig11", "-nonesuch"},      // unknown trailing flag
+		{"-nonesuch", "fig11"},      // unknown leading flag
+		{"fig11", "-workers", "-2"}, // negative worker count
+	}
+	for _, args := range cases {
+		if _, _, err := parseArgs(args, io.Discard); err == nil {
+			t.Errorf("parseArgs(%v): no error", args)
+		}
+	}
+}
+
+func TestParseArgsHelp(t *testing.T) {
+	var sb strings.Builder
+	_, _, err := parseArgs([]string{"-h"}, &sb)
+	if err != flag.ErrHelp {
+		t.Fatalf("parseArgs(-h) err = %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(sb.String(), "usage: nocsprint [flags] <experiment> [flags]") {
+		t.Errorf("usage text missing or stale:\n%s", sb.String())
+	}
+}

@@ -269,6 +269,11 @@ type NetworkEval struct {
 type NetSimParams struct {
 	Warmup, Measure, Drain int
 	Seed                   int64
+	// Workers is the experiment-runner fan-out for sweep-shaped drivers:
+	// 0 uses all cores (GOMAXPROCS), 1 runs serially, n > 1 uses exactly n
+	// goroutines. Each sweep point carries its own seed, so results are
+	// identical at any worker count.
+	Workers int
 }
 
 func (p NetSimParams) withDefaults() NetSimParams {

@@ -10,6 +10,7 @@ import (
 	"nocsprint/internal/noc"
 	"nocsprint/internal/power"
 	"nocsprint/internal/routing"
+	"nocsprint/internal/runner"
 	"nocsprint/internal/sprint"
 	"nocsprint/internal/stats"
 	"nocsprint/internal/thermal"
@@ -214,29 +215,44 @@ type NetResult struct {
 
 // Fig9Fig10Network reproduces Figures 9 and 10: average network latency and
 // total network power for PARSEC under full- versus NoC-sprinting, using
-// the cycle-accurate simulator and the DSENT-like power model.
+// the cycle-accurate simulator and the DSENT-like power model. Benchmarks
+// run in parallel per sp.Workers; each carries a fixed per-benchmark seed,
+// so results are identical at any worker count.
 func Fig9Fig10Network(s *Sprinter, sp NetSimParams) (NetResult, error) {
-	var out NetResult
-	var latRed, powSav []float64
+	type task struct {
+		idx     int
+		profile workload.Profile
+	}
+	var tasks []task
 	for i, p := range workload.Profiles() {
-		sp.Seed = int64(1000 + i)
-		full, err := s.EvaluateNetwork(p, FullSprinting, sp)
+		tasks = append(tasks, task{idx: i, profile: p})
+	}
+	rows, err := runner.Map(tasks, sp.Workers, func(tk task) (NetRow, error) {
+		sim := sp
+		sim.Seed = int64(1000 + tk.idx)
+		full, err := s.EvaluateNetwork(tk.profile, FullSprinting, sim)
 		if err != nil {
-			return NetResult{}, err
+			return NetRow{}, err
 		}
-		nocs, err := s.EvaluateNetwork(p, NoCSprinting, sp)
+		nocs, err := s.EvaluateNetwork(tk.profile, NoCSprinting, sim)
 		if err != nil {
-			return NetResult{}, err
+			return NetRow{}, err
 		}
-		row := NetRow{
-			Benchmark:   p.Name,
+		return NetRow{
+			Benchmark:   tk.profile.Name,
 			Level:       nocs.Level,
 			LatencyFull: full.AvgLatency,
 			LatencyNoC:  nocs.AvgLatency,
 			PowerFull:   full.NetPower.Total(),
 			PowerNoC:    nocs.NetPower.Total(),
-		}
-		out.Rows = append(out.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return NetResult{}, err
+	}
+	out := NetResult{Rows: rows}
+	var latRed, powSav []float64
+	for _, row := range rows {
 		if row.LatencyFull > 0 && row.LatencyNoC > 0 {
 			latRed = append(latRed, 1-row.LatencyNoC/row.LatencyFull)
 		}
@@ -292,86 +308,43 @@ func (p Fig11Params) withDefaults() Fig11Params {
 
 // Fig11Sweep reproduces Figure 11: uniform-random synthetic traffic sweeps
 // for 4-core and 8-core sprinting versus randomly-mapped full-sprinting.
+// Every (level, rate) point is an independent simulation with its own seed;
+// points run in parallel per params.Sim.Workers and the output is identical
+// to a serial run at any worker count.
 func Fig11Sweep(s *Sprinter, levels []int, params Fig11Params) ([]Fig11Series, error) {
 	params = params.withDefaults()
 	if len(levels) == 0 {
 		levels = []int{4, 8}
 	}
-	var series []Fig11Series
+	type task struct {
+		level, ri int
+		rate      float64
+	}
+	var tasks []task
 	for _, level := range levels {
-		ser := Fig11Series{Level: level}
-		var latCuts, powCuts []float64
 		for ri, rate := range params.Rates {
-			pt := Fig11Point{Rate: rate}
+			tasks = append(tasks, task{level: level, ri: ri, rate: rate})
+		}
+	}
+	points, err := runner.Map(tasks, params.Sim.Workers, func(tk task) (Fig11Point, error) {
+		return fig11Point(s, tk.level, tk.ri, tk.rate, params)
+	})
+	if err != nil {
+		return nil, err
+	}
 
-			// NoC-sprinting: convex region, CDOR, gated dark routers.
-			region := s.Region(level)
-			net, err := noc.New(s.cfg.NoC, routing.NewCDOR(region), region.ActiveNodes())
-			if err != nil {
-				return nil, err
-			}
-			set := traffic.NewSet(region.ActiveNodes())
-			res, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{
-				InjectionRate: rate,
-				WarmupCycles:  params.Sim.Warmup,
-				MeasureCycles: params.Sim.Measure,
-				DrainCycles:   params.Sim.Drain,
-				Seed:          params.Sim.Seed + int64(ri),
-			})
-			if err != nil {
-				return nil, err
-			}
-			bd, err := s.cfg.Router.NetworkPower(res.Events, res.MeasureWindow, level, s.cfg.Corner)
-			if err != nil {
-				return nil, err
-			}
-			pt.LatencyNoC, pt.PowerNoC, pt.SaturatedNoC = res.AvgLatency, bd.Total(), res.Saturated
-
-			// Full-sprinting: same traffic randomly mapped onto the
-			// fully-powered mesh, averaged over samples. A point counts as
-			// saturated when a majority of mappings saturate.
-			var latSum, powSum float64
-			satCount := 0
-			valid := 0
-			for sample := 0; sample < params.Samples; sample++ {
-				seed := params.Sim.Seed + int64(1e6) + int64(sample)*997 + int64(ri)
-				rng := rand.New(rand.NewSource(seed))
-				fset := traffic.RandomSet(s.mesh.Nodes(), level, rng)
-				fnet, err := noc.New(s.cfg.NoC, routing.NewDOR(s.mesh), nil)
-				if err != nil {
-					return nil, err
-				}
-				fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
-					InjectionRate: rate,
-					WarmupCycles:  params.Sim.Warmup,
-					MeasureCycles: params.Sim.Measure,
-					DrainCycles:   params.Sim.Drain,
-					Seed:          seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				fbd, err := s.cfg.Router.NetworkPower(fres.Events, fres.MeasureWindow, s.mesh.Nodes(), s.cfg.Corner)
-				if err != nil {
-					return nil, err
-				}
-				latSum += fres.AvgLatency
-				powSum += fbd.Total()
-				if fres.Saturated {
-					satCount++
-				}
-				valid++
-			}
-			pt.LatencyFull = latSum / float64(valid)
-			pt.PowerFull = powSum / float64(valid)
-			pt.SaturatedFull = satCount*2 > valid
-
-			ser.Points = append(ser.Points, pt)
+	// Reassemble level-major (tasks were built level-major) and derive the
+	// pre-saturation aggregates, which need each level's lowest-load point.
+	var series []Fig11Series
+	for li, level := range levels {
+		ser := Fig11Series{Level: level, Points: points[li*len(params.Rates) : (li+1)*len(params.Rates)]}
+		var latCuts, powCuts []float64
+		first := ser.Points[0]
+		for _, pt := range ser.Points {
 			// "Pre-saturation" points: neither side flagged saturated and
 			// neither latency has left the flat region of its curve (within
 			// 1.5x of the lowest-load point), so one degenerate random
 			// mapping near the knee cannot skew the average.
-			first := ser.Points[0]
 			flat := pt.LatencyNoC < 1.5*first.LatencyNoC && pt.LatencyFull < 1.5*first.LatencyFull
 			if !pt.SaturatedNoC && !pt.SaturatedFull && pt.LatencyFull > 0 && flat {
 				latCuts = append(latCuts, 1-pt.LatencyNoC/pt.LatencyFull)
@@ -383,6 +356,78 @@ func Fig11Sweep(s *Sprinter, levels []int, params Fig11Params) ([]Fig11Series, e
 		series = append(series, ser)
 	}
 	return series, nil
+}
+
+// fig11Point evaluates one (level, rate) cell of Figure 11: a NoC-sprinting
+// run plus params.Samples randomly-mapped full-sprinting runs. All state —
+// region, network, traffic set, RNG — is constructed locally, so the
+// function is safe to run concurrently for different points; the seeds
+// depend only on (ri, sample), matching the original serial sweep.
+func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (Fig11Point, error) {
+	pt := Fig11Point{Rate: rate}
+
+	// NoC-sprinting: convex region, CDOR, gated dark routers.
+	region := s.Region(level)
+	net, err := noc.New(s.cfg.NoC, routing.NewCDOR(region), region.ActiveNodes())
+	if err != nil {
+		return Fig11Point{}, err
+	}
+	set := traffic.NewSet(region.ActiveNodes())
+	res, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{
+		InjectionRate: rate,
+		WarmupCycles:  params.Sim.Warmup,
+		MeasureCycles: params.Sim.Measure,
+		DrainCycles:   params.Sim.Drain,
+		Seed:          params.Sim.Seed + int64(ri),
+	})
+	if err != nil {
+		return Fig11Point{}, err
+	}
+	bd, err := s.cfg.Router.NetworkPower(res.Events, res.MeasureWindow, level, s.cfg.Corner)
+	if err != nil {
+		return Fig11Point{}, err
+	}
+	pt.LatencyNoC, pt.PowerNoC, pt.SaturatedNoC = res.AvgLatency, bd.Total(), res.Saturated
+
+	// Full-sprinting: same traffic randomly mapped onto the fully-powered
+	// mesh, averaged over samples. A point counts as saturated when a
+	// majority of mappings saturate.
+	var latSum, powSum float64
+	satCount := 0
+	valid := 0
+	for sample := 0; sample < params.Samples; sample++ {
+		seed := params.Sim.Seed + int64(1e6) + int64(sample)*997 + int64(ri)
+		rng := rand.New(rand.NewSource(seed))
+		fset := traffic.RandomSet(s.mesh.Nodes(), level, rng)
+		fnet, err := noc.New(s.cfg.NoC, routing.NewDOR(s.mesh), nil)
+		if err != nil {
+			return Fig11Point{}, err
+		}
+		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
+			InjectionRate: rate,
+			WarmupCycles:  params.Sim.Warmup,
+			MeasureCycles: params.Sim.Measure,
+			DrainCycles:   params.Sim.Drain,
+			Seed:          seed,
+		})
+		if err != nil {
+			return Fig11Point{}, err
+		}
+		fbd, err := s.cfg.Router.NetworkPower(fres.Events, fres.MeasureWindow, s.mesh.Nodes(), s.cfg.Corner)
+		if err != nil {
+			return Fig11Point{}, err
+		}
+		latSum += fres.AvgLatency
+		powSum += fbd.Total()
+		if fres.Saturated {
+			satCount++
+		}
+		valid++
+	}
+	pt.LatencyFull = latSum / float64(valid)
+	pt.PowerFull = powSum / float64(valid)
+	pt.SaturatedFull = satCount*2 > valid
+	return pt, nil
 }
 
 // Fig12Case is one heat map of Figure 12.
@@ -768,14 +813,20 @@ type ScaleRow struct {
 // trend the paper motivates with Figure 3): as the chip grows, the
 // un-gateable network's share grows, and so does NoC-sprinting's saving for
 // a fixed utilisation fraction (one quarter of the cores active).
+// Mesh sizes run in parallel per sp.Workers with per-size seeds.
 func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 	if len(widths) == 0 {
 		widths = []int{4, 6, 8}
 	}
 	sp = sp.withDefaults()
 	chip := power.DefaultChipParams()
-	var rows []ScaleRow
+	type task struct{ wi, w int }
+	var tasks []task
 	for wi, w := range widths {
+		tasks = append(tasks, task{wi: wi, w: w})
+	}
+	return runner.Map(tasks, sp.Workers, func(tk task) (ScaleRow, error) {
+		wi, w := tk.wi, tk.w
 		cfg := noc.DefaultConfig()
 		cfg.Width, cfg.Height = w, w
 		n := cfg.Nodes()
@@ -784,7 +835,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 
 		cb, err := chip.ChipPower(power.NominalStates(n), n)
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 
 		params := power.DefaultRouterParams45nm(cfg)
@@ -794,7 +845,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		// NoC-sprinting.
 		net, err := noc.New(cfg, routing.NewCDOR(region), region.ActiveNodes())
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 		res, err := noc.RunSynthetic(net, traffic.NewSet(region.ActiveNodes()),
 			traffic.NewUniform(level), noc.SimParams{
@@ -802,11 +853,11 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 				DrainCycles: sp.Drain, Seed: int64(81 + wi),
 			})
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 		nb, err := params.NetworkPower(res.Events, res.MeasureWindow, level, power.Nominal)
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 
 		// Full-sprinting: the same endpoints communicating over the whole
@@ -815,28 +866,27 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		fset := traffic.RandomSet(n, level, rng)
 		fnet, err := noc.New(cfg, routing.NewDOR(m), nil)
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
 			DrainCycles: sp.Drain, Seed: int64(101 + wi),
 		})
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 		fb, err := params.NetworkPower(fres.Events, fres.MeasureWindow, n, power.Nominal)
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 
-		rows = append(rows, ScaleRow{
+		return ScaleRow{
 			Width: w, Nodes: n, Level: level,
 			NoCShareNominal: cb.Share(power.CompNoC),
 			LatencyCut:      1 - res.AvgLatency/fres.AvgLatency,
 			PowerSaving:     1 - nb.Total()/fb.Total(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SensitivityRow is one router configuration of the microarchitecture
@@ -855,41 +905,46 @@ type SensitivityRow struct {
 // reports saturation throughput and low-load latency — the standard NoC
 // methodology check that the simulator behaves like its references: more
 // VCs and deeper buffers buy throughput, not zero-load latency.
+// Configurations fan out across sp.Workers; each configuration walks its
+// rate ladder serially because the walk stops at the first saturated rate.
 func SensitivitySweep(sp NetSimParams) ([]SensitivityRow, error) {
 	sp = sp.withDefaults()
 	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	var rows []SensitivityRow
+	type task struct{ vcs, depth int }
+	var tasks []task
 	for _, vcs := range []int{2, 4, 8} {
 		for _, depth := range []int{2, 4, 8} {
-			cfg := noc.DefaultConfig()
-			cfg.VCs, cfg.BufferDepth = vcs, depth
-			m := mesh.New(cfg.Width, cfg.Height)
-			set := traffic.NewSet(allNodes(cfg.Nodes()))
-			row := SensitivityRow{VCs: vcs, BufferDepth: depth}
-			for ri, rate := range rates {
-				net, err := noc.New(cfg, routing.NewDOR(m), nil)
-				if err != nil {
-					return nil, err
-				}
-				res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
-					InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
-					DrainCycles: sp.Drain, Seed: int64(300 + ri),
-				})
-				if err != nil {
-					return nil, err
-				}
-				if ri == 0 {
-					row.ZeroLoadLatency = res.AvgLatency
-				}
-				if res.Saturated {
-					break
-				}
-				row.SaturationRate = rate
-			}
-			rows = append(rows, row)
+			tasks = append(tasks, task{vcs: vcs, depth: depth})
 		}
 	}
-	return rows, nil
+	return runner.Map(tasks, sp.Workers, func(tk task) (SensitivityRow, error) {
+		cfg := noc.DefaultConfig()
+		cfg.VCs, cfg.BufferDepth = tk.vcs, tk.depth
+		m := mesh.New(cfg.Width, cfg.Height)
+		set := traffic.NewSet(allNodes(cfg.Nodes()))
+		row := SensitivityRow{VCs: tk.vcs, BufferDepth: tk.depth}
+		for ri, rate := range rates {
+			net, err := noc.New(cfg, routing.NewDOR(m), nil)
+			if err != nil {
+				return SensitivityRow{}, err
+			}
+			res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
+				InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
+				DrainCycles: sp.Drain, Seed: int64(300 + ri),
+			})
+			if err != nil {
+				return SensitivityRow{}, err
+			}
+			if ri == 0 {
+				row.ZeroLoadLatency = res.AvgLatency
+			}
+			if res.Saturated {
+				break
+			}
+			row.SaturationRate = rate
+		}
+		return row, nil
+	})
 }
 
 // DimDarkPoint is one (budget, benchmark) cell of the dim-vs-dark study.
@@ -914,8 +969,9 @@ type DimDarkPoint struct {
 // voltage/frequency (dark) or more cores at a reduced corner (dim)?
 // Performance is modelled as (f/f_nominal) / T_norm(level): frequency
 // scales compute speed, the workload model supplies parallel efficiency.
-// Uncore power is charged at its nominal value in both cases.
-func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string) ([]DimDarkPoint, error) {
+// Uncore power is charged at its nominal value in both cases. The
+// (budget, benchmark) cells fan out across workers (0 = all cores).
+func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string, workers int) ([]DimDarkPoint, error) {
 	if len(budgetsW) == 0 {
 		budgetsW = []float64{25, 30, 40, 60, 100}
 	}
@@ -929,42 +985,48 @@ func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string) ([]DimDarkP
 	uncoreFixed := float64(n)*chip.L2BankW + chip.MCW + chip.OtherW
 
 	corners := []power.Corner{power.Nominal, power.Mid, power.Low}
-	var out []DimDarkPoint
+	type task struct {
+		budget float64
+		name   string
+	}
+	var tasks []task
 	for _, budget := range budgetsW {
 		for _, name := range benchmarks {
-			p, err := workload.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			pt := DimDarkPoint{BudgetW: budget, Benchmark: name}
-			for _, corner := range corners {
-				corePower, err := chip.CoreActiveAt(corner)
-				if err != nil {
-					return nil, err
-				}
-				fr := corner.FreqHz / power.Nominal.FreqHz
-				for level := 1; level <= n; level++ {
-					total := uncoreFixed + float64(level)*(corePower+chip.NoCTileW) +
-						float64(n-level)*chip.CoreGatedW
-					if total > budget {
-						break // higher levels only cost more
-					}
-					hops := workload.AvgHops(s.mesh, s.cfg.Master, level, s.cfg.Metric)
-					perf := fr / p.NormTime(level, hops)
-					if corner == power.Nominal {
-						if perf > pt.DarkPerf {
-							pt.DarkPerf, pt.DarkLevel = perf, level
-						}
-					} else if perf > pt.DimPerf {
-						pt.DimPerf, pt.DimLevel, pt.DimCorner = perf, level, corner
-					}
-				}
-			}
-			pt.DimWins = pt.DimPerf > pt.DarkPerf
-			out = append(out, pt)
+			tasks = append(tasks, task{budget: budget, name: name})
 		}
 	}
-	return out, nil
+	return runner.Map(tasks, workers, func(tk task) (DimDarkPoint, error) {
+		p, err := workload.ByName(tk.name)
+		if err != nil {
+			return DimDarkPoint{}, err
+		}
+		pt := DimDarkPoint{BudgetW: tk.budget, Benchmark: tk.name}
+		for _, corner := range corners {
+			corePower, err := chip.CoreActiveAt(corner)
+			if err != nil {
+				return DimDarkPoint{}, err
+			}
+			fr := corner.FreqHz / power.Nominal.FreqHz
+			for level := 1; level <= n; level++ {
+				total := uncoreFixed + float64(level)*(corePower+chip.NoCTileW) +
+					float64(n-level)*chip.CoreGatedW
+				if total > tk.budget {
+					break // higher levels only cost more
+				}
+				hops := workload.AvgHops(s.mesh, s.cfg.Master, level, s.cfg.Metric)
+				perf := fr / p.NormTime(level, hops)
+				if corner == power.Nominal {
+					if perf > pt.DarkPerf {
+						pt.DarkPerf, pt.DarkLevel = perf, level
+					}
+				} else if perf > pt.DimPerf {
+					pt.DimPerf, pt.DimLevel, pt.DimCorner = perf, level, corner
+				}
+			}
+		}
+		pt.DimWins = pt.DimPerf > pt.DarkPerf
+		return pt, nil
+	})
 }
 
 // LLCRow is one configuration of the §3.4 last-level-cache study.

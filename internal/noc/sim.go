@@ -105,15 +105,19 @@ func RunSynthetic(net *Network, set *traffic.Set, pattern traffic.Pattern, p Sim
 	net.SetMeasuring(false)
 	mid := net.Stats()
 	// Drain: keep background (unmeasured) traffic flowing so measured
-	// packets complete under load, per standard methodology.
-	drained := false
-	for i := 0; i < p.DrainCycles; i++ {
+	// packets complete under load, per standard methodology. The check runs
+	// once on entry and then after every tick, so a network that finishes
+	// draining on the final permitted cycle is not misreported saturated
+	// (a check placed only before each tick needs DrainCycles+1 iterations
+	// to observe a drain that takes exactly DrainCycles ticks).
+	allEjected := func() bool {
 		s := net.Stats()
-		if s.MeasuredEjected == s.MeasuredCreated {
-			drained = true
-			break
-		}
+		return s.MeasuredEjected == s.MeasuredCreated
+	}
+	drained := allEjected()
+	for i := 0; !drained && i < p.DrainCycles; i++ {
 		tick()
+		drained = allEjected()
 	}
 	post := net.Stats()
 	d := post.Sub(pre)

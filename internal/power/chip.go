@@ -120,11 +120,13 @@ func DefaultChipParams() ChipParams {
 // ChipBreakdown is chip power in watts per component.
 type ChipBreakdown map[ChipComponent]float64
 
-// Total returns total chip power in watts.
+// Total returns total chip power in watts. Components are added in fixed
+// enum order so the float total is bit-for-bit reproducible across runs
+// (map iteration order is randomized and would perturb the last bits).
 func (b ChipBreakdown) Total() float64 {
 	var s float64
-	for _, v := range b {
-		s += v
+	for c := ChipComponent(0); c < numChipComponents; c++ {
+		s += b[c]
 	}
 	return s
 }

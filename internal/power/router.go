@@ -170,10 +170,14 @@ func (b Breakdown) TotalLeakage() float64 { return sum(b.LeakageW) }
 // Total returns total power in watts.
 func (b Breakdown) Total() float64 { return b.TotalDynamic() + b.TotalLeakage() }
 
+// sum adds component values in fixed enum order. Ranging over the map
+// directly would add in Go's randomized iteration order, perturbing the
+// last bits of the total from run to run and breaking the bit-for-bit
+// reproducibility the experiment layer promises.
 func sum(m map[Component]float64) float64 {
 	var s float64
-	for _, v := range m {
-		s += v
+	for c := Component(0); c < numComponents; c++ {
+		s += m[c]
 	}
 	return s
 }

@@ -1,0 +1,93 @@
+// Package runner provides the parallel experiment runner: a generic,
+// order-preserving worker pool that fans independent simulation points
+// across goroutines. Every sweep-shaped driver in internal/core is a pure
+// function of (configuration, seed) per point, so the pool guarantees
+// results identical to a serial run at any worker count — parallelism
+// changes wall-clock time, never output.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n <= 0 selects GOMAXPROCS (use all
+// cores), any positive n is taken literally. 1 means legacy serial
+// execution on the calling goroutine.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map applies fn to every point and returns the results in input order:
+// out[i] = fn(points[i]). Work is fanned across Workers(workers)
+// goroutines; workers == 1 runs serially on the calling goroutine with no
+// goroutine or channel overhead.
+//
+// fn must be safe to call concurrently from multiple goroutines when
+// workers != 1; in the experiment layer that means each point constructs
+// its own network, traffic set, and RNG, and only reads shared
+// configuration.
+//
+// If any point fails, Map returns the error of the lowest-indexed failing
+// point (wrapped with its index) and nil results. Points are claimed in
+// index order and in-flight points run to completion after a failure, so
+// the reported error is deterministic; remaining unclaimed points are
+// skipped.
+func Map[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, error) {
+	out := make([]R, len(points))
+	if len(points) == 0 {
+		return out, nil
+	}
+	w := Workers(workers)
+	if w > len(points) {
+		w = len(points)
+	}
+	if w == 1 {
+		for i, p := range points {
+			r, err := fn(p)
+			if err != nil {
+				return nil, fmt.Errorf("runner: point %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next unclaimed point index
+		failed atomic.Bool  // stops claiming new points after an error
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, len(points))
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) || failed.Load() {
+					return
+				}
+				r, err := fn(points[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: point %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

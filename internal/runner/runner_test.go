@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, 4, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(nil) = %v, %v", out, err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		out, err := Map(points, workers, func(p int) (int, error) { return p * p, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range out {
+			if r != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+// TestMapDeterministic asserts the core guarantee: a seeded pseudo-random
+// computation per point yields identical results at any worker count.
+func TestMapDeterministic(t *testing.T) {
+	points := make([]int64, 64)
+	for i := range points {
+		points[i] = int64(i)
+	}
+	fn := func(seed int64) (float64, error) {
+		rng := rand.New(rand.NewSource(seed))
+		var s float64
+		for i := 0; i < 1000; i++ {
+			s += rng.Float64()
+		}
+		return s, nil
+	}
+	serial, err := Map(points, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		parallel, err := Map(points, workers, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d: results differ from serial", workers)
+		}
+	}
+}
+
+func TestMapReportsLowestIndexedError(t *testing.T) {
+	points := make([]int, 50)
+	for i := range points {
+		points[i] = i
+	}
+	fail := map[int]bool{17: true, 31: true, 44: true}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(points, workers, func(p int) (int, error) {
+			if fail[p] {
+				return 0, fmt.Errorf("boom at %d", p)
+			}
+			return p, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !strings.Contains(err.Error(), "point 17") || !strings.Contains(err.Error(), "boom at 17") {
+			t.Errorf("workers=%d: err = %v, want lowest-indexed point 17", workers, err)
+		}
+	}
+}
+
+func TestMapErrorWrapping(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Map([]int{0}, 1, func(int) (int, error) { return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %v does not wrap sentinel", err)
+	}
+}
+
+// TestMapStopsClaimingAfterFailure checks that a failure prevents unclaimed
+// points from starting (bounded waste on expensive sweeps).
+func TestMapStopsClaimingAfterFailure(t *testing.T) {
+	const n = 10_000
+	points := make([]int, n)
+	var ran atomic.Int64
+	_, err := Map(points, 2, func(int) (int, error) {
+		ran.Add(1)
+		return 0, errors.New("fail fast")
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if got := ran.Load(); got >= n {
+		t.Errorf("all %d points ran despite early failure", got)
+	}
+}
+
+func TestMapSerialRunsOnCallingGoroutine(t *testing.T) {
+	// workers=1 must not spawn goroutines: panics propagate directly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate from serial Map")
+		}
+	}()
+	Map([]int{1}, 1, func(int) (int, error) { panic("direct") })
+}

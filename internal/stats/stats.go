@@ -56,26 +56,36 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
-// Min returns the minimum of xs, or +Inf for an empty slice.
-func Min(xs []float64) float64 {
-	m := math.Inf(1)
-	for _, x := range xs {
+// Min returns the minimum of xs and whether xs was non-empty. The explicit
+// ok result replaces the former ±Inf sentinel for empty input, which is not
+// representable in JSON and leaked encoding errors into report pipelines
+// (encoding/json rejects non-finite floats).
+func Min(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
 		if x < m {
 			m = x
 		}
 	}
-	return m
+	return m, true
 }
 
-// Max returns the maximum of xs, or -Inf for an empty slice.
-func Max(xs []float64) float64 {
-	m := math.Inf(-1)
-	for _, x := range xs {
+// Max returns the maximum of xs and whether xs was non-empty; see Min for
+// why empty input reports ok=false instead of a -Inf sentinel.
+func Max(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
 		if x > m {
 			m = x
 		}
 	}
-	return m
+	return m, true
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear

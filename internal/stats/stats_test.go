@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"reflect"
@@ -45,12 +46,24 @@ func TestVarianceStdDev(t *testing.T) {
 }
 
 func TestMinMax(t *testing.T) {
-	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
-		t.Error("empty min/max")
+	if v, ok := Min(nil); ok || v != 0 {
+		t.Errorf("empty Min = %v, %v; want 0, false", v, ok)
+	}
+	if v, ok := Max(nil); ok || v != 0 {
+		t.Errorf("empty Max = %v, %v; want 0, false", v, ok)
 	}
 	xs := []float64{3, -1, 7}
-	if Min(xs) != -1 || Max(xs) != 7 {
-		t.Error("min/max wrong")
+	if v, ok := Min(xs); !ok || v != -1 {
+		t.Errorf("Min = %v, %v", v, ok)
+	}
+	if v, ok := Max(xs); !ok || v != 7 {
+		t.Errorf("Max = %v, %v", v, ok)
+	}
+	// JSON safety: the empty-slice result must encode cleanly, unlike the
+	// former ±Inf sentinels that encoding/json rejects.
+	v, _ := Min(nil)
+	if _, err := json.Marshal(v); err != nil {
+		t.Errorf("empty Min result not JSON-encodable: %v", err)
 	}
 }
 
@@ -94,7 +107,9 @@ func TestRunningMatchesBatch(t *testing.T) {
 	if math.Abs(r.Variance()-Variance(xs)) > 1e-6 {
 		t.Error("running variance differs")
 	}
-	if r.Min() != Min(xs) || r.Max() != Max(xs) {
+	min, _ := Min(xs)
+	max, _ := Max(xs)
+	if r.Min() != min || r.Max() != max {
 		t.Error("running min/max differ")
 	}
 	if math.Abs(r.StdDev()-StdDev(xs)) > 1e-6 {
@@ -151,7 +166,9 @@ func TestPercentileQuickWithinRange(t *testing.T) {
 		}
 		p := math.Mod(math.Abs(pRaw), 100)
 		v := Percentile(raw, p)
-		return v >= Min(raw)-1e-9 && v <= Max(raw)+1e-9
+		min, _ := Min(raw)
+		max, _ := Max(raw)
+		return v >= min-1e-9 && v <= max+1e-9
 	}
 	if err := quick.Check(prop, cfg); err != nil {
 		t.Error(err)
