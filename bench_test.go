@@ -37,6 +37,16 @@ func newSprinter(b *testing.B) *core.Sprinter {
 // benchSim keeps per-iteration simulation cost bounded.
 var benchSim = core.NetSimParams{Warmup: 500, Measure: 1500, Drain: 15000}
 
+// skipSlowBench gates the simulator-driven benchmarks behind -short so that
+// `go test -short -bench=.` (the CI race job) only runs the cheap
+// microbenchmarks and analytic-model benchmarks.
+func skipSlowBench(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("simulator-driven benchmark is too slow for -short")
+	}
+}
+
 // BenchmarkTable1Config regenerates Table 1 (system construction: activation
 // order, floorplan, routing tables all derive from the configuration).
 func BenchmarkTable1Config(b *testing.B) {
@@ -130,6 +140,7 @@ func BenchmarkFig8CorePower(b *testing.B) {
 // BenchmarkFig9NetLatency regenerates Figure 9 (and 10's) simulations and
 // reports the average latency reduction (paper: 24.5%).
 func BenchmarkFig9NetLatency(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	var res core.NetResult
 	var err error
@@ -146,6 +157,7 @@ func BenchmarkFig9NetLatency(b *testing.B) {
 // BenchmarkFig10NetPower reports Figure 10's network power saving (paper:
 // 71.9%) from the same runs.
 func BenchmarkFig10NetPower(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	var res core.NetResult
 	var err error
@@ -163,6 +175,7 @@ func BenchmarkFig10NetPower(b *testing.B) {
 // pre-saturation cuts (paper: 45.1%/62.1% for 4-core, 16.1%/25.9% for
 // 8-core).
 func BenchmarkFig11Sweep(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	params := core.Fig11Params{
 		Rates:   []float64{0.05, 0.15, 0.25},
@@ -191,6 +204,7 @@ func BenchmarkFig11Sweep(b *testing.B) {
 // only in wall-clock time.
 func benchFig11Workers(b *testing.B, workers int) {
 	b.Helper()
+	skipSlowBench(b)
 	s := newSprinter(b)
 	sim := benchSim
 	sim.Workers = workers
@@ -219,6 +233,7 @@ func BenchmarkFig11SweepParallel(b *testing.B) { benchFig11Workers(b, 0) }
 // BenchmarkFig12HeatMap regenerates Figure 12 and reports the three peak
 // temperatures (paper: 358.3/347.79/343.81 K).
 func BenchmarkFig12HeatMap(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	var cases []core.Fig12Case
 	var err error
@@ -238,6 +253,7 @@ func BenchmarkFig12HeatMap(b *testing.B) {
 // BenchmarkSprintDuration regenerates the Section 4.4 analysis and reports
 // the average duration increase (paper: +55.4%).
 func BenchmarkSprintDuration(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	var res core.DurationResult
 	var err error
@@ -295,6 +311,7 @@ func BenchmarkAblationFloorplan(b *testing.B) {
 // BenchmarkAblationPowerGating compares network power of a 4-core sprint
 // with gating (NoC-sprinting) and without (fine-grained).
 func BenchmarkAblationPowerGating(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	dedup, err := workload.ByName("dedup")
 	if err != nil {
@@ -439,6 +456,7 @@ func nodes(n int) []int {
 // runtime power gating vs NoC-sprinting, reporting savings and the
 // runtime-gating latency penalty.
 func BenchmarkExtGatingComparison(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	var res core.GatingResult
 	var err error
@@ -475,6 +493,7 @@ func BenchmarkExtLeakageFeedback(b *testing.B) {
 // trace and reports the NoC-sprinting responsiveness advantage over
 // full-sprinting.
 func BenchmarkExtController(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	dedup, err := workload.ByName("dedup")
 	if err != nil {
@@ -518,6 +537,7 @@ func BenchmarkExtController(b *testing.B) {
 // BenchmarkExtWireStudy runs the Section 3.3 wire study and reports the
 // latency of each wiring option.
 func BenchmarkExtWireStudy(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	var cases []core.WireCase
 	var err error
@@ -536,6 +556,7 @@ func BenchmarkExtWireStudy(b *testing.B) {
 // BenchmarkExtScaling runs the mesh scaling study (4x4 and 6x6 to bound
 // benchmark time) and reports the NoC-share trend.
 func BenchmarkExtScaling(b *testing.B) {
+	skipSlowBench(b)
 	var rows []core.ScaleRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -552,6 +573,7 @@ func BenchmarkExtScaling(b *testing.B) {
 // BenchmarkExtSensitivity sweeps the Table 1 buffering knobs and reports
 // the saturation-throughput spread.
 func BenchmarkExtSensitivity(b *testing.B) {
+	skipSlowBench(b)
 	var rows []core.SensitivityRow
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -576,6 +598,7 @@ func BenchmarkExtSensitivity(b *testing.B) {
 // BenchmarkExtLLCStudy runs the Section 3.4 LLC policy study and reports
 // the AMAT of each option.
 func BenchmarkExtLLCStudy(b *testing.B) {
+	skipSlowBench(b)
 	s := newSprinter(b)
 	params := core.LLCParams{AccessesPerCore: 600}
 	var rows []core.LLCRow

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nocsprint/internal/core"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/nocsprint -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// goldenSim returns the exact simulation windows the CLI uses under -fast,
+// so the goldens pin the same numbers `nocsprint fig11 -fast` prints.
+// Workers stays parallel on purpose: per-point seeding guarantees the output
+// is identical at any worker count, and the goldens prove it stays that way.
+func goldenSim(check bool) core.NetSimParams {
+	return core.NetSimParams{Warmup: 300, Measure: 1000, Drain: 10000, Check: check}
+}
+
+// compareGolden marshals got and compares it byte-for-byte against the named
+// golden file, or rewrites the file under -update.
+func compareGolden(t *testing.T, name string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("results drifted from %s — if the change is intentional, regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			path, firstDiff(data, want), path)
+	}
+}
+
+// firstDiff locates the first differing line to keep failures readable.
+func firstDiff(got, want []byte) string {
+	g := bytes.Split(got, []byte("\n"))
+	w := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if !bytes.Equal(g[i], w[i]) {
+			return "line " + itoa(i+1) + ": got " + string(g[i]) + " | want " + string(w[i])
+		}
+	}
+	return "length mismatch: got " + itoa(len(g)) + " lines, want " + itoa(len(w))
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestGoldenFig11Fast pins the `fig11 -fast` sweep: the exact latencies,
+// powers, and saturation flags per (level, rate) point. Any change to the
+// simulator, routing, seeding, or sweep parallelism that moves a number
+// fails loudly here. The sweep also runs with the invariant checker on and
+// must match the same golden — the zero-drift acceptance criterion.
+func TestGoldenFig11Fast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is too slow for -short")
+	}
+	s, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(check bool) []core.Fig11Series {
+		series, err := core.Fig11Sweep(s, []int{4, 8}, core.Fig11Params{
+			Rates:   []float64{0.05, 0.15, 0.25, 0.35},
+			Samples: 3,
+			Sim:     goldenSim(check),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return series
+	}
+	plain := run(false)
+	compareGolden(t, "fig11_fast.json", plain)
+
+	checked, err := json.Marshal(run(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainJSON, checked) {
+		t.Fatal("invariant checker perturbed the fig11 sweep results")
+	}
+}
+
+// TestGoldenSensitivityPoint pins one sensitivity-sweep configuration (the
+// Table 1 router: 4 VCs, 4-flit buffers), checked and unchecked.
+func TestGoldenSensitivityPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is too slow for -short")
+	}
+	plain, err := core.SensitivityPoint(4, 4, goldenSim(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "sensitivity_point.json", plain)
+
+	checked, err := core.SensitivityPoint(4, 4, goldenSim(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != checked {
+		t.Fatalf("invariant checker perturbed the sensitivity point:\nwithout: %+v\nwith:    %+v", plain, checked)
+	}
+}

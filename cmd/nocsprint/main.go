@@ -35,6 +35,7 @@ import (
 type options struct {
 	fast    bool
 	json    bool
+	check   bool
 	workers int
 }
 
@@ -51,6 +52,7 @@ func parseArgs(args []string, output io.Writer) (options, string, error) {
 	fs.Usage = func() { usage(output) }
 	fs.BoolVar(&o.fast, "fast", false, "shrink simulation windows for quick smoke runs")
 	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
+	fs.BoolVar(&o.check, "check", false, "enable runtime invariant checking on every simulation")
 	fs.IntVar(&o.workers, "workers", 0, "parallel sweep workers: 0 = all cores, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return options{}, "", err
@@ -101,6 +103,10 @@ func usage(w io.Writer) {
 flags:
   -fast        shrink simulation windows for quick smoke runs
   -json        emit machine-readable JSON instead of tables
+  -check       enable runtime invariant checking: every simulation enforces
+               flit conservation, credit bounds, dark-router silence, CDOR
+               hop rules, and a deadlock watchdog (results are unchanged;
+               violations abort with a network-state snapshot)
   -workers N   parallel sweep workers: 0 = all cores (default), 1 = serial
 
 experiments:
@@ -170,7 +176,7 @@ func run(name string, o options) error {
 	case "dimdark":
 		return dimDarkCmd(s, o.workers)
 	case "llc":
-		return llcCmd(s)
+		return llcCmd(s, o.check)
 	case "all":
 		for _, exp := range []func() error{
 			func() error { return table1(s) },
@@ -200,7 +206,7 @@ func run(name string, o options) error {
 // simParams maps the CLI options onto the experiment-layer parameter
 // structs; -workers threads through to the parallel sweep runner.
 func simParams(o options) (core.NetSimParams, core.Fig11Params) {
-	sim := core.NetSimParams{Workers: o.workers}
+	sim := core.NetSimParams{Workers: o.workers, Check: o.check}
 	if o.fast {
 		sim.Warmup, sim.Measure, sim.Drain = 300, 1000, 10000
 	}
@@ -637,7 +643,7 @@ func runJSON(name string, o options) error {
 	case "dimdark":
 		result, err = core.DimVsDark(s, nil, nil, o.workers)
 	case "llc":
-		result, err = core.LLCStudy(s, core.LLCParams{})
+		result, err = core.LLCStudy(s, core.LLCParams{Check: o.check})
 	default:
 		return fmt.Errorf("experiment %q has no JSON form", name)
 	}
@@ -676,9 +682,9 @@ func dimDarkCmd(s *core.Sprinter, workers int) error {
 	return w.Flush()
 }
 
-func llcCmd(s *core.Sprinter) error {
+func llcCmd(s *core.Sprinter, check bool) error {
 	header("Extension: Section 3.4 — shared LLC under network power gating")
-	rows, err := core.LLCStudy(s, core.LLCParams{})
+	rows, err := core.LLCStudy(s, core.LLCParams{Check: check})
 	if err != nil {
 		return err
 	}

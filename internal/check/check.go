@@ -1,0 +1,305 @@
+// Package check implements the runtime invariant-checking layer for the NoC
+// simulator. A Checker attaches to a noc.Network via Network.SetChecker and
+// observes every flit movement, credit return, and cycle boundary, enforcing
+// the guarantees the paper's design rests on:
+//
+//   - flit/packet conservation per message class (nothing created is lost),
+//   - credit accounting (credits bounded by buffer depth, never negative),
+//   - dark-router silence (power-gated routers see no traffic, §3.1),
+//   - CDOR region containment and X-then-Y hop monotonicity (Algorithm 2),
+//   - a livelock/deadlock watchdog that dumps a readable network snapshot
+//     when traffic stops making progress.
+//
+// Checking is purely observational: an attached checker never changes
+// simulation results, and a nil checker costs one pointer comparison per
+// event, so production sweeps run with checks off by default.
+package check
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/noc"
+	"nocsprint/internal/sprint"
+)
+
+// Kind classifies invariant violations.
+type Kind int
+
+const (
+	// Conservation: per-class flit census no longer balances
+	// (created != ejected + at-source + in-network).
+	Conservation Kind = iota
+	// Credit: a credit counter left [0, BufferDepth].
+	Credit
+	// DarkRouter: a power-gated router saw traffic — a power-domain
+	// violation in the sprinting model.
+	DarkRouter
+	// RouteRule: a hop broke the routing discipline (CDOR region
+	// containment / X-then-Y monotonicity, or strict DOR order).
+	RouteRule
+	// Watchdog: no forward progress for the configured number of cycles
+	// while packets were in flight (deadlock or livelock).
+	Watchdog
+	// Structural: the network's internal consistency sweep
+	// (noc.CheckInvariants) failed — buffer bounds, VC states, or
+	// link-level credit conservation.
+	Structural
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Conservation:
+		return "conservation"
+	case Credit:
+		return "credit"
+	case DarkRouter:
+		return "dark-router"
+	case RouteRule:
+		return "route-rule"
+	case Watchdog:
+		return "watchdog"
+	case Structural:
+		return "structural"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Violation describes one invariant failure. The default handler panics with
+// the *Violation so a failing sweep aborts loudly; tests install their own
+// handler via Config.OnViolation.
+type Violation struct {
+	Kind   Kind
+	Cycle  int64
+	Detail string
+	// Snapshot is the human-readable network-state dump taken at the
+	// moment of the violation (noc.Network.Snapshot).
+	Snapshot string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: cycle %d: %s violation: %s\n%s", v.Cycle, v.Kind, v.Detail, v.Snapshot)
+}
+
+// Config selects which routing discipline to enforce and tunes the sweeps.
+type Config struct {
+	// Region, when set, enables the CDOR hop rules of Algorithm 2: every
+	// flit event must stay inside the region and each hop must be either
+	// X-monotone toward the destination, Y-monotone after X is resolved,
+	// or a vertical escape toward the master row taken only when the
+	// needed horizontal link is missing.
+	Region *sprint.Region
+	// DOR, when set (and Region is nil), enforces strict dimension-order
+	// discipline on the full mesh: X strictly monotone first, then Y.
+	DOR bool
+	// Interval is the period, in cycles, of the O(network-size) sweeps
+	// (structural consistency and flit conservation). Per-event checks
+	// run every cycle regardless. Defaults to 16.
+	Interval int
+	// WatchdogCycles is how long traffic may be in flight with no flit
+	// movement before the watchdog declares a deadlock. Must comfortably
+	// exceed the router wake-up latency when runtime gating is on.
+	// Defaults to 2000.
+	WatchdogCycles int
+	// OnViolation, when set, receives each violation instead of the
+	// default panic. The simulation continues, so a handler that records
+	// and returns turns the checker into a violation counter.
+	OnViolation func(*Violation)
+}
+
+// Checker enforces the invariants; it implements noc.Checker.
+type Checker struct {
+	cfg     Config
+	masterY int
+
+	violations   int64
+	lastProgress int64
+	stalled      int
+}
+
+var _ noc.Checker = (*Checker)(nil)
+
+// New builds a Checker. Attach it with net.SetChecker(New(cfg)).
+func New(cfg Config) *Checker {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 16
+	}
+	if cfg.WatchdogCycles <= 0 {
+		cfg.WatchdogCycles = 2000
+	}
+	c := &Checker{cfg: cfg, lastProgress: -1}
+	if cfg.Region != nil {
+		c.masterY = cfg.Region.Mesh().Coord(cfg.Region.Master()).Y
+	}
+	return c
+}
+
+// Violations returns the number of violations reported so far (only ever
+// more than one when Config.OnViolation suppresses the default panic).
+func (c *Checker) Violations() int64 { return c.violations }
+
+func (c *Checker) fail(n *noc.Network, kind Kind, format string, args ...any) {
+	c.violations++
+	v := &Violation{
+		Kind:     kind,
+		Cycle:    n.Cycle(),
+		Detail:   fmt.Sprintf(format, args...),
+		Snapshot: n.Snapshot(),
+	}
+	if c.cfg.OnViolation != nil {
+		c.cfg.OnViolation(v)
+		return
+	}
+	panic(v)
+}
+
+// FlitArrived checks dark-router silence, region containment, and the hop
+// discipline of the configured routing algorithm.
+func (c *Checker) FlitArrived(n *noc.Network, router int, from mesh.Direction, pkt *noc.Packet, typ noc.FlitType, vc int) {
+	if !n.RouterActive(router) {
+		c.fail(n, DarkRouter, "flit %s of packet %d (%d->%d) delivered to power-gated router %d",
+			typ, pkt.ID, pkt.Src, pkt.Dst, router)
+		return
+	}
+	if c.cfg.Region != nil && !c.cfg.Region.Active(router) {
+		c.fail(n, DarkRouter, "flit %s of packet %d (%d->%d) reached router %d outside the sprint region",
+			typ, pkt.ID, pkt.Src, pkt.Dst, router)
+		return
+	}
+	if from == mesh.Local {
+		// Injection from the node's own NI.
+		if pkt.Src != router {
+			c.fail(n, RouteRule, "packet %d with source %d injected at node %d", pkt.ID, pkt.Src, router)
+		}
+		return
+	}
+	prev, ok := n.Mesh().Neighbor(router, from)
+	if !ok {
+		c.fail(n, Structural, "flit of packet %d arrived at router %d from off-mesh direction %v",
+			pkt.ID, router, from)
+		return
+	}
+	// The flit sat at prev and hopped in direction from.Opposite() to get
+	// here; judge that hop against the routing discipline at prev.
+	c.checkHop(n, prev, from.Opposite(), pkt)
+}
+
+// checkHop validates one hop taken at router prev in direction d for pkt.
+func (c *Checker) checkHop(n *noc.Network, prev int, d mesh.Direction, pkt *noc.Packet) {
+	m := n.Mesh()
+	cc := m.Coord(prev)
+	tc := m.Coord(pkt.Dst)
+	switch {
+	case c.cfg.Region != nil:
+		// CDOR (Algorithm 2): X strictly toward the destination first;
+		// vertical moves are either Y-progress after X is resolved, or an
+		// escape toward the master row forced by a missing horizontal link.
+		ok := false
+		switch d {
+		case mesh.East:
+			ok = tc.X > cc.X
+		case mesh.West:
+			ok = tc.X < cc.X
+		case mesh.North:
+			ok = (tc.X == cc.X && tc.Y < cc.Y) ||
+				(tc.X != cc.X && cc.Y > c.masterY && !c.cfg.Region.Connected(prev, horizontalToward(cc, tc)))
+		case mesh.South:
+			ok = (tc.X == cc.X && tc.Y > cc.Y) ||
+				(tc.X != cc.X && cc.Y < c.masterY && !c.cfg.Region.Connected(prev, horizontalToward(cc, tc)))
+		}
+		if !ok {
+			c.fail(n, RouteRule, "hop %v at router %d violates CDOR for packet %d (%d->%d)",
+				d, prev, pkt.ID, pkt.Src, pkt.Dst)
+		}
+	case c.cfg.DOR:
+		ok := false
+		switch d {
+		case mesh.East:
+			ok = tc.X > cc.X
+		case mesh.West:
+			ok = tc.X < cc.X
+		case mesh.North:
+			ok = tc.X == cc.X && tc.Y < cc.Y
+		case mesh.South:
+			ok = tc.X == cc.X && tc.Y > cc.Y
+		}
+		if !ok {
+			c.fail(n, RouteRule, "hop %v at router %d violates X-then-Y order for packet %d (%d->%d)",
+				d, prev, pkt.ID, pkt.Src, pkt.Dst)
+		}
+	}
+}
+
+// horizontalToward is the horizontal direction from cc toward tc; callers
+// guarantee tc.X != cc.X.
+func horizontalToward(cc, tc mesh.Coord) mesh.Direction {
+	if tc.X > cc.X {
+		return mesh.East
+	}
+	return mesh.West
+}
+
+// FlitInjected checks that sources only inject their own packets from
+// powered, in-region nodes.
+func (c *Checker) FlitInjected(n *noc.Network, node int, pkt *noc.Packet, seq int) {
+	if !n.RouterActive(node) {
+		c.fail(n, DarkRouter, "NI at power-gated node %d injected flit %d of packet %d", node, seq, pkt.ID)
+		return
+	}
+	if c.cfg.Region != nil && !c.cfg.Region.Active(node) {
+		c.fail(n, DarkRouter, "NI at node %d outside the sprint region injected packet %d", node, pkt.ID)
+		return
+	}
+	if pkt.Src != node {
+		c.fail(n, RouteRule, "node %d injected packet %d whose source is %d", node, pkt.ID, pkt.Src)
+	}
+}
+
+// FlitEjected checks that flits only leave the network at their destination.
+func (c *Checker) FlitEjected(n *noc.Network, node int, pkt *noc.Packet, tail bool) {
+	if pkt.Dst != node {
+		c.fail(n, RouteRule, "packet %d (%d->%d) ejected at node %d", pkt.ID, pkt.Src, pkt.Dst, node)
+	}
+}
+
+// CreditDelivered checks the credit counter bounds eagerly, at the moment
+// each credit lands (the periodic structural sweep additionally proves
+// link-level credit conservation).
+func (c *Checker) CreditDelivered(n *noc.Network, router int, port mesh.Direction, vc, credits int) {
+	if depth := n.Config().BufferDepth; credits < 0 || credits > depth {
+		c.fail(n, Credit, "credits for router %d port %v vc %d reached %d (buffer depth %d)",
+			router, port, vc, credits, depth)
+	}
+}
+
+// CycleEnd drives the watchdog every cycle and the O(network-size) sweeps
+// every Interval cycles.
+func (c *Checker) CycleEnd(n *noc.Network, cycle int64) {
+	s := n.Stats()
+	progress := s.FlitsInjected + s.FlitsEjected + s.Events.BufferReads + s.Events.BufferWrites
+	if n.InFlight() > 0 && progress == c.lastProgress {
+		c.stalled++
+		if c.stalled >= c.cfg.WatchdogCycles {
+			c.fail(n, Watchdog, "no flit movement for %d cycles with %d packets in flight",
+				c.stalled, n.InFlight())
+			c.stalled = 0
+		}
+	} else {
+		c.stalled = 0
+	}
+	c.lastProgress = progress
+
+	if cycle%int64(c.cfg.Interval) != 0 {
+		return
+	}
+	if err := n.CheckInvariants(); err != nil {
+		c.fail(n, Structural, "%v", err)
+	}
+	for class, cen := range n.FlitCensus() {
+		if cen.Created != cen.Ejected+cen.AtSource+cen.InNetwork {
+			c.fail(n, Conservation,
+				"class %d: %d flits created but %d ejected + %d at source + %d in network",
+				class, cen.Created, cen.Ejected, cen.AtSource, cen.InNetwork)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package check_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"nocsprint/internal/check"
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/noc"
+	"nocsprint/internal/routing"
+	"nocsprint/internal/sprint"
+	"nocsprint/internal/traffic"
+)
+
+// failOn returns a checker config whose handler fails the test immediately,
+// so any violation in a clean run is reported with its snapshot.
+func failOn(t *testing.T, cfg check.Config) check.Config {
+	t.Helper()
+	cfg.OnViolation = func(v *check.Violation) {
+		t.Fatalf("unexpected %s violation: %s\n%s", v.Kind, v.Detail, v.Snapshot)
+	}
+	return cfg
+}
+
+func runSynthetic(t *testing.T, net *noc.Network, nodes []int, rate float64) noc.Result {
+	t.Helper()
+	set := traffic.NewSet(nodes)
+	res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
+		InjectionRate: rate,
+		WarmupCycles:  300,
+		MeasureCycles: 800,
+		DrainCycles:   8000,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatalf("RunSynthetic: %v", err)
+	}
+	return res
+}
+
+// TestCleanRunCDOR drives a gated CDOR network under load with every check
+// enabled at the tightest interval: a correct simulator must produce zero
+// violations.
+func TestCleanRunCDOR(t *testing.T) {
+	m := mesh.New(4, 4)
+	region := sprint.NewRegion(m, 0, 8, sprint.Euclidean)
+	net, err := noc.New(noc.DefaultConfig(), routing.NewCDOR(region), region.ActiveNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetChecker(check.New(failOn(t, check.Config{Region: region, Interval: 1})))
+	res := runSynthetic(t, net, region.ActiveNodes(), 0.2)
+	if res.MeasuredPackets == 0 {
+		t.Fatal("no packets measured — the run exercised nothing")
+	}
+}
+
+// TestCleanRunDOR covers the full-mesh DOR discipline (the full-sprinting
+// baseline) plus runtime power gating, whose wake-up stalls must not trip
+// the watchdog.
+func TestCleanRunDOR(t *testing.T) {
+	m := mesh.New(4, 4)
+	net, err := noc.New(noc.DefaultConfig(), routing.NewDOR(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.EnableRuntimeGating(noc.DefaultGatingConfig()); err != nil {
+		t.Fatal(err)
+	}
+	net.SetChecker(check.New(failOn(t, check.Config{DOR: true, Interval: 1})))
+	nodes := make([]int, m.Nodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	res := runSynthetic(t, net, nodes, 0.1)
+	if res.MeasuredPackets == 0 {
+		t.Fatal("no packets measured — the run exercised nothing")
+	}
+}
+
+// TestCheckerZeroDrift proves the checker is purely observational: the same
+// seeded run with and without a checker attached yields identical results.
+func TestCheckerZeroDrift(t *testing.T) {
+	m := mesh.New(4, 4)
+	run := func(attach bool) noc.Result {
+		region := sprint.NewRegion(m, 0, 8, sprint.Euclidean)
+		net, err := noc.New(noc.DefaultConfig(), routing.NewCDOR(region), region.ActiveNodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			net.SetChecker(check.New(failOn(t, check.Config{Region: region, Interval: 1})))
+		}
+		return runSynthetic(t, net, region.ActiveNodes(), 0.25)
+	}
+	plain, checked := run(false), run(true)
+	if !reflect.DeepEqual(plain, checked) {
+		t.Fatalf("checker perturbed results:\nwithout: %+v\nwith:    %+v", plain, checked)
+	}
+}
+
+// misroute wraps a routing algorithm and forces one wrong turn at a chosen
+// router, to inject violations deliberately.
+type misroute struct {
+	inner routing.Algorithm
+	at    int
+	dir   mesh.Direction
+}
+
+func (a misroute) NextPort(cur, dst int) (mesh.Direction, error) {
+	if cur == a.at && cur != dst {
+		return a.dir, nil
+	}
+	return a.inner.NextPort(cur, dst)
+}
+
+func (a misroute) Name() string { return "misroute" }
+
+// TestDarkRouterViolationCaught forces a flit into a power-gated router and
+// expects the checker's default handler to panic with a DarkRouter violation
+// carrying a state snapshot — before the simulator's own bare panic fires.
+func TestDarkRouterViolationCaught(t *testing.T) {
+	m := mesh.New(4, 4)
+	region := sprint.NewRegion(m, 0, 4, sprint.Euclidean) // active: {0,1,4,5}
+	if region.Active(2) {
+		t.Fatal("test premise broken: node 2 should be dark at level 4")
+	}
+	// CDOR routes 0->5 as East to 1 then South to 5; the misroute instead
+	// turns East at router 1, into dark router 2.
+	alg := misroute{inner: routing.NewCDOR(region), at: 1, dir: mesh.East}
+	net, err := noc.New(noc.DefaultConfig(), alg, region.ActiveNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetChecker(check.New(check.Config{Region: region, Interval: 1}))
+	net.Enqueue(0, 5)
+
+	var got *check.Violation
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("misrouted flit reached a gated router without tripping the checker")
+			}
+			v, ok := r.(*check.Violation)
+			if !ok {
+				t.Fatalf("panic value %T (%v), want *check.Violation", r, r)
+			}
+			got = v
+		}()
+		net.Run(100)
+	}()
+	if got.Kind != check.DarkRouter {
+		t.Fatalf("violation kind = %s, want %s", got.Kind, check.DarkRouter)
+	}
+	if got.Snapshot == "" {
+		t.Fatal("violation carries no network snapshot")
+	}
+	if !strings.Contains(got.Snapshot, "GATED") {
+		t.Fatalf("snapshot does not show the gated router:\n%s", got.Snapshot)
+	}
+	if !strings.Contains(got.Error(), "dark-router") {
+		t.Fatalf("Error() = %q, want the kind spelled out", got.Error())
+	}
+}
+
+// TestRouteRuleViolationCaught injects a Y-before-X turn on a fully active
+// region and expects a RouteRule report while the simulation still
+// completes (the packet remains deliverable).
+func TestRouteRuleViolationCaught(t *testing.T) {
+	m := mesh.New(4, 4)
+	region := sprint.NewRegion(m, 0, 16, sprint.Euclidean)
+	// CDOR resolves X first: 0->5 must leave router 0 eastward. Going
+	// South instead breaks monotonicity (no missing link excuses it).
+	alg := misroute{inner: routing.NewCDOR(region), at: 0, dir: mesh.South}
+	net, err := noc.New(noc.DefaultConfig(), alg, region.ActiveNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []check.Kind
+	net.SetChecker(check.New(check.Config{
+		Region:      region,
+		Interval:    1,
+		OnViolation: func(v *check.Violation) { kinds = append(kinds, v.Kind) },
+	}))
+	pkt := net.Enqueue(0, 5)
+	net.Run(200)
+	if pkt.EjectedAt < 0 {
+		t.Fatal("packet never delivered; the misroute should only add a detour")
+	}
+	if len(kinds) == 0 {
+		t.Fatal("Y-before-X turn went unreported")
+	}
+	for _, k := range kinds {
+		if k != check.RouteRule {
+			t.Fatalf("unexpected %s violation alongside the route-rule report", k)
+		}
+	}
+}
+
+// ringAlg routes every packet clockwise around a 2x2 mesh — a textbook
+// cyclic channel dependency that wormhole flow control turns into deadlock.
+type ringAlg struct {
+	m    mesh.Mesh
+	next map[int]int
+}
+
+func (a ringAlg) NextPort(cur, dst int) (mesh.Direction, error) {
+	if cur == dst {
+		return mesh.Local, nil
+	}
+	return a.m.DirectionTo(cur, a.next[cur]), nil
+}
+
+func (a ringAlg) Name() string { return "ring" }
+
+// TestWatchdogCatchesDeadlock builds a guaranteed routing deadlock and
+// expects the watchdog to flag it with a snapshot, instead of the simulator
+// spinning forever.
+func TestWatchdogCatchesDeadlock(t *testing.T) {
+	m := mesh.New(2, 2)
+	cfg := noc.Config{
+		Width: 2, Height: 2,
+		VCs: 1, BufferDepth: 1,
+		PacketLength: 4, FlitBits: 64, LinkLatency: 1,
+	}
+	// Clockwise ring 0 -> 1 -> 3 -> 2 -> 0; each node sends three hops
+	// around, so all four packets hold links while waiting for the next.
+	alg := ringAlg{m: m, next: map[int]int{0: 1, 1: 3, 3: 2, 2: 0}}
+	net, err := noc.New(cfg, alg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *check.Violation
+	net.SetChecker(check.New(check.Config{
+		Interval:       1,
+		WatchdogCycles: 100,
+		OnViolation: func(v *check.Violation) {
+			if got == nil {
+				got = v
+			}
+		},
+	}))
+	for src, dst := range map[int]int{0: 2, 1: 0, 3: 1, 2: 3} {
+		net.Enqueue(src, dst)
+	}
+	for i := 0; i < 2000 && got == nil; i++ {
+		net.Step()
+	}
+	if got == nil {
+		t.Fatal("cyclic ring routing did not deadlock, or the watchdog missed it")
+	}
+	if got.Kind != check.Watchdog {
+		t.Fatalf("violation kind = %s, want %s", got.Kind, check.Watchdog)
+	}
+	if !strings.Contains(got.Snapshot, "router") {
+		t.Fatalf("snapshot missing per-router state:\n%s", got.Snapshot)
+	}
+	if net.InFlight() == 0 {
+		t.Fatal("network drained — not a deadlock")
+	}
+}
+
+// TestFlitCensusBalances exercises the census directly mid-flight.
+func TestFlitCensusBalances(t *testing.T) {
+	m := mesh.New(4, 4)
+	net, err := noc.New(noc.DefaultConfig(), routing.NewDOR(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Enqueue(0, 15)
+	net.Enqueue(5, 10)
+	for i := 0; i < 40; i++ {
+		net.Step()
+		for class, cen := range net.FlitCensus() {
+			if cen.Created != cen.Ejected+cen.AtSource+cen.InNetwork {
+				t.Fatalf("cycle %d class %d: census unbalanced: %+v", i, class, cen)
+			}
+		}
+	}
+	if net.InFlight() != 0 {
+		t.Fatal("packets did not drain in 40 cycles")
+	}
+}

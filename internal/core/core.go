@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"nocsprint/internal/check"
 	"nocsprint/internal/floorplan"
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/noc"
@@ -274,6 +275,23 @@ type NetSimParams struct {
 	// goroutines. Each sweep point carries its own seed, so results are
 	// identical at any worker count.
 	Workers int
+	// Check attaches the runtime invariant checker (internal/check) to
+	// every network the drivers build, making each sweep point
+	// self-validating: any conservation, credit, gating, routing, or
+	// progress violation aborts the run with a state snapshot. The checker
+	// is observational, so results are identical with it on or off.
+	Check bool
+}
+
+// attachChecker wires the invariant checker onto net when p.Check is set.
+// region carries the CDOR hop rules of the sprint region the network routes
+// over; a nil region enforces plain X-then-Y dimension order instead (all
+// the full-mesh baselines route DOR).
+func (p NetSimParams) attachChecker(net *noc.Network, region *sprint.Region) {
+	if !p.Check {
+		return
+	}
+	net.SetChecker(check.New(check.Config{Region: region, DOR: region == nil}))
 }
 
 func (p NetSimParams) withDefaults() NetSimParams {
@@ -344,6 +362,11 @@ func (s *Sprinter) EvaluateNetwork(p workload.Profile, scheme Scheme, sp NetSimP
 	net, err := noc.New(s.cfg.NoC, alg, active)
 	if err != nil {
 		return NetworkEval{}, err
+	}
+	if scheme == FullSprinting {
+		sp.attachChecker(net, nil)
+	} else {
+		sp.attachChecker(net, region)
 	}
 	pattern := traffic.NewUniform(set.Size())
 	res, err := noc.RunSynthetic(net, set, pattern, noc.SimParams{
@@ -482,6 +505,11 @@ func (s *Sprinter) TrafficHeatMap(p workload.Profile, scheme Scheme, useFloorpla
 		net, err := noc.New(s.cfg.NoC, alg, active)
 		if err != nil {
 			return nil, err
+		}
+		if scheme == FullSprinting {
+			sp.attachChecker(net, nil)
+		} else {
+			sp.attachChecker(net, region)
 		}
 		set := traffic.NewSet(region.ActiveNodes())
 		if _, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{

@@ -372,6 +372,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 	if err != nil {
 		return Fig11Point{}, err
 	}
+	params.Sim.attachChecker(net, region)
 	set := traffic.NewSet(region.ActiveNodes())
 	res, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{
 		InjectionRate: rate,
@@ -403,6 +404,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 		if err != nil {
 			return Fig11Point{}, err
 		}
+		params.Sim.attachChecker(fnet, nil)
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate,
 			WarmupCycles:  params.Sim.Warmup,
@@ -564,7 +566,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 
 		// Scheme 1: full-sprinting, no network power management.
 		none, err := s.EvaluateNetwork(p, FullSprinting, NetSimParams{
-			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed,
+			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed, Check: sp.Check,
 		})
 		if err != nil {
 			return GatingResult{}, err
@@ -578,6 +580,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 		if err := net.EnableRuntimeGating(gcfg); err != nil {
 			return GatingResult{}, err
 		}
+		sp.attachChecker(net, nil)
 		set := traffic.NewSet(allNodes(s.mesh.Nodes()))
 		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
 			InjectionRate: p.InjRate,
@@ -601,7 +604,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 
 		// Scheme 3: NoC-sprinting.
 		nocs, err := s.EvaluateNetwork(p, NoCSprinting, NetSimParams{
-			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed,
+			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed, Check: sp.Check,
 		})
 		if err != nil {
 			return GatingResult{}, err
@@ -730,6 +733,7 @@ func FloorplanWireStudy(s *Sprinter, sp NetSimParams) ([]WireCase, error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		sp.attachChecker(net, region)
 		maxLink := s.cfg.NoC.LinkLatency
 		if planned && !smart {
 			// Plain wires: latency grows with the physical Euclidean
@@ -847,6 +851,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		if err != nil {
 			return ScaleRow{}, err
 		}
+		sp.attachChecker(net, region)
 		res, err := noc.RunSynthetic(net, traffic.NewSet(region.ActiveNodes()),
 			traffic.NewUniform(level), noc.SimParams{
 				InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
@@ -868,6 +873,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		if err != nil {
 			return ScaleRow{}, err
 		}
+		sp.attachChecker(fnet, nil)
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
 			DrainCycles: sp.Drain, Seed: int64(101 + wi),
@@ -908,8 +914,6 @@ type SensitivityRow struct {
 // Configurations fan out across sp.Workers; each configuration walks its
 // rate ladder serially because the walk stops at the first saturated rate.
 func SensitivitySweep(sp NetSimParams) ([]SensitivityRow, error) {
-	sp = sp.withDefaults()
-	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	type task struct{ vcs, depth int }
 	var tasks []task
 	for _, vcs := range []int{2, 4, 8} {
@@ -918,33 +922,44 @@ func SensitivitySweep(sp NetSimParams) ([]SensitivityRow, error) {
 		}
 	}
 	return runner.Map(tasks, sp.Workers, func(tk task) (SensitivityRow, error) {
-		cfg := noc.DefaultConfig()
-		cfg.VCs, cfg.BufferDepth = tk.vcs, tk.depth
-		m := mesh.New(cfg.Width, cfg.Height)
-		set := traffic.NewSet(allNodes(cfg.Nodes()))
-		row := SensitivityRow{VCs: tk.vcs, BufferDepth: tk.depth}
-		for ri, rate := range rates {
-			net, err := noc.New(cfg, routing.NewDOR(m), nil)
-			if err != nil {
-				return SensitivityRow{}, err
-			}
-			res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
-				InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
-				DrainCycles: sp.Drain, Seed: int64(300 + ri),
-			})
-			if err != nil {
-				return SensitivityRow{}, err
-			}
-			if ri == 0 {
-				row.ZeroLoadLatency = res.AvgLatency
-			}
-			if res.Saturated {
-				break
-			}
-			row.SaturationRate = rate
-		}
-		return row, nil
+		return SensitivityPoint(tk.vcs, tk.depth, sp)
 	})
+}
+
+// SensitivityPoint evaluates one router configuration (VC count, buffer
+// depth) of the sensitivity sweep: it walks the rate ladder on the full
+// 4×4 mesh until the first saturated rate, reporting the last rate accepted
+// and the low-load latency.
+func SensitivityPoint(vcs, depth int, sp NetSimParams) (SensitivityRow, error) {
+	sp = sp.withDefaults()
+	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	cfg := noc.DefaultConfig()
+	cfg.VCs, cfg.BufferDepth = vcs, depth
+	m := mesh.New(cfg.Width, cfg.Height)
+	set := traffic.NewSet(allNodes(cfg.Nodes()))
+	row := SensitivityRow{VCs: vcs, BufferDepth: depth}
+	for ri, rate := range rates {
+		net, err := noc.New(cfg, routing.NewDOR(m), nil)
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		sp.attachChecker(net, nil)
+		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
+			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
+			DrainCycles: sp.Drain, Seed: int64(300 + ri),
+		})
+		if err != nil {
+			return SensitivityRow{}, err
+		}
+		if ri == 0 {
+			row.ZeroLoadLatency = res.AvgLatency
+		}
+		if res.Saturated {
+			break
+		}
+		row.SaturationRate = rate
+	}
+	return row, nil
 }
 
 // DimDarkPoint is one (budget, benchmark) cell of the dim-vs-dark study.
@@ -1055,6 +1070,9 @@ type LLCParams struct {
 	AccessesPerCore int64
 	MaxCycles       int64
 	Level           int
+	// Check attaches the runtime invariant checker to the study's networks
+	// (see NetSimParams.Check).
+	Check bool
 }
 
 func (p LLCParams) withDefaults() LLCParams {
@@ -1108,6 +1126,13 @@ func LLCStudy(s *Sprinter, p LLCParams) ([]LLCRow, error) {
 		}
 		if err != nil {
 			return LLCRow{}, err
+		}
+		if p.Check {
+			if gated {
+				NetSimParams{Check: true}.attachChecker(net, region)
+			} else {
+				NetSimParams{Check: true}.attachChecker(net, nil)
+			}
 		}
 		var streamErr error
 		mk := func(node int) *cache.Stream {

@@ -1,0 +1,153 @@
+package noc
+
+import (
+	"fmt"
+	"strings"
+
+	"nocsprint/internal/mesh"
+)
+
+// Checker observes simulator events for runtime invariant enforcement (see
+// internal/check for the implementation). All hooks run synchronously inside
+// Step and must not mutate the network; a nil checker costs one pointer
+// comparison per event, so the hot path is unaffected when checking is off.
+type Checker interface {
+	// FlitArrived fires when a flit is written into router's input buffer on
+	// port from. Arrivals on the Local port are injections from the node's
+	// own NI; any other port means the flit traversed the link from the
+	// neighbour in direction from, i.e. it hopped in direction
+	// from.Opposite().
+	FlitArrived(n *Network, router int, from mesh.Direction, pkt *Packet, typ FlitType, vc int)
+	// FlitInjected fires when the NI at node issues flit seq of pkt toward
+	// its router's Local input port.
+	FlitInjected(n *Network, node int, pkt *Packet, seq int)
+	// FlitEjected fires when a flit of pkt leaves the network at node; tail
+	// marks packet completion.
+	FlitEjected(n *Network, node int, pkt *Packet, tail bool)
+	// CreditDelivered fires when a credit lands back at router's output
+	// (port, vc); credits is the counter value after the increment. Port
+	// Local denotes the NI-side credits of node router.
+	CreditDelivered(n *Network, router int, port mesh.Direction, vc, credits int)
+	// CycleEnd fires at the end of every Step, after all pipeline stages.
+	CycleEnd(n *Network, cycle int64)
+}
+
+// SetChecker attaches (or, with nil, detaches) an invariant checker. The
+// checker is purely observational: attaching one never changes simulation
+// results.
+func (n *Network) SetChecker(c Checker) { n.checker = c }
+
+// RouterActive reports whether router id is statically powered (inside the
+// sprint region the network was built with). Runtime gating (gating.go) is a
+// separate, dynamic notion.
+func (n *Network) RouterActive(id int) bool { return n.routers[id].active }
+
+// ClassCensus is the flit population of one message class, for conservation
+// checks: Created == Ejected + AtSource + InNetwork must hold at every cycle
+// boundary.
+type ClassCensus struct {
+	// Created counts all flits of packets ever created in this class.
+	Created int64
+	// Ejected counts flits delivered to destination NIs.
+	Ejected int64
+	// AtSource counts flits still owed by source NIs: whole queued packets
+	// plus the un-issued remainder of partially injected ones.
+	AtSource int64
+	// InNetwork counts flits in router buffers, in flight on links, or in
+	// ejection queues.
+	InNetwork int64
+}
+
+// FlitCensus walks the whole network and returns the per-class flit
+// population. It is O(network size) and intended for invariant checks, not
+// the hot path.
+func (n *Network) FlitCensus() []ClassCensus {
+	out := make([]ClassCensus, n.cfg.classes())
+	for c := range out {
+		out[c].Created = n.classCreated[c]
+		out[c].Ejected = n.classEjected[c]
+	}
+	for id, nic := range n.nis {
+		for _, pkt := range nic.queue {
+			out[pkt.Class].AtSource += int64(pkt.Length)
+		}
+		if nic.cur != nil {
+			out[nic.cur.Class].AtSource += int64(nic.cur.Length - nic.curSeq)
+		}
+		for p := range n.inbox[id] {
+			for _, ev := range n.inbox[id][p] {
+				out[ev.f.pkt.Class].InNetwork++
+			}
+		}
+		for _, ev := range n.eject[id] {
+			out[ev.f.pkt.Class].InNetwork++
+		}
+		r := n.routers[id]
+		for p := range r.in {
+			for v := range r.in[p] {
+				for _, f := range r.in[p][v].buf {
+					out[f.pkt.Class].InNetwork++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot renders a human-readable dump of the network state: per-router
+// buffer occupancy, VC pipeline states, output credits, in-flight link and
+// credit traffic, and NI queues. Invariant violations attach it to their
+// report so a failing sweep point can be diagnosed post mortem.
+func (n *Network) Snapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network snapshot at cycle %d: %dx%d mesh, %d VCs x depth %d, %d classes\n",
+		n.cycle, n.cfg.Width, n.cfg.Height, n.cfg.VCs, n.cfg.BufferDepth, n.cfg.classes())
+	s := n.Stats()
+	fmt.Fprintf(&b, "packets: created %d injected %d ejected %d (in flight %d); flits: injected %d ejected %d\n",
+		s.PacketsCreated, s.PacketsInjected, s.PacketsEjected, n.InFlight(), s.FlitsInjected, s.FlitsEjected)
+	for id, r := range n.routers {
+		nic := n.nis[id]
+		inflight := 0
+		for p := range n.inbox[id] {
+			inflight += len(n.inbox[id][p])
+		}
+		if !r.active {
+			if inflight > 0 {
+				fmt.Fprintf(&b, "router %2d %v: GATED with %d flits in flight toward it\n",
+					id, n.m.Coord(id), inflight)
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "router %2d %v: buffered %d, inbound %d, eject-queue %d, NI queue %d",
+			id, n.m.Coord(id), r.occupancy(), inflight, len(n.eject[id]), len(nic.queue))
+		if nic.cur != nil {
+			fmt.Fprintf(&b, ", injecting pkt %d flit %d/%d", nic.cur.ID, nic.curSeq, nic.cur.Length)
+		}
+		b.WriteByte('\n')
+		for p := 0; p < mesh.NumDirections; p++ {
+			for v := range r.in[p] {
+				ivc := &r.in[p][v]
+				if ivc.state == vcIdle && len(ivc.buf) == 0 {
+					continue
+				}
+				desc := ""
+				if len(ivc.buf) > 0 {
+					head := ivc.buf[0]
+					desc = fmt.Sprintf(" head=pkt %d (%d->%d, %v)",
+						head.pkt.ID, head.pkt.Src, head.pkt.Dst, head.typ)
+				}
+				fmt.Fprintf(&b, "  in[%v][vc%d]: %d flits, state %d -> out %v vc %d%s\n",
+					mesh.Direction(p), v, len(ivc.buf), ivc.state, ivc.outPort, ivc.outVC, desc)
+			}
+			for v := range r.out[p] {
+				o := &r.out[p][v]
+				if !o.occupied && o.credits == n.cfg.BufferDepth {
+					continue
+				}
+				fmt.Fprintf(&b, "  out[%v][vc%d]: occupied %v, credits %d/%d\n",
+					mesh.Direction(p), v, o.occupied, o.credits, n.cfg.BufferDepth)
+			}
+		}
+	}
+	return b.String()
+}

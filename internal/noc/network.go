@@ -125,6 +125,12 @@ type Network struct {
 	// usedInput is per-cycle scratch for the one-flit-per-input-port
 	// crossbar constraint, sized [routers][ports].
 	usedInput [][mesh.NumDirections]bool
+	// checker, when non-nil, observes simulator events for runtime
+	// invariant enforcement (see checker.go and internal/check).
+	checker Checker
+	// classCreated/classEjected count flits per message class for
+	// conservation checking (indexed by Packet.Class).
+	classCreated, classEjected []int64
 }
 
 // New builds a network over cfg's mesh using routing algorithm alg.
@@ -160,6 +166,9 @@ func New(cfg Config, alg routing.Algorithm, activeNodes []int) (*Network, error)
 		eject:     make([][]arrival, m.Nodes()),
 		nis:       make([]*ni, m.Nodes()),
 		usedInput: make([][mesh.NumDirections]bool, m.Nodes()),
+
+		classCreated: make([]int64, cfg.classes()),
+		classEjected: make([]int64, cfg.classes()),
 	}
 	for id := 0; id < m.Nodes(); id++ {
 		n.routers[id] = newRouter(id, cfg, m, activeSet[id])
@@ -248,6 +257,7 @@ func (n *Network) EnqueuePacket(src, dst, class, length int) *Packet {
 	}
 	n.nextPacketID++
 	n.stats.PacketsCreated++
+	n.classCreated[class] += int64(length)
 	if p.Measured {
 		n.stats.MeasuredCreated++
 	}
@@ -276,6 +286,9 @@ func (n *Network) Step() {
 	n.deliverFlits(now)
 	n.inject(now)
 	n.updateGating(now)
+	if n.checker != nil {
+		n.checker.CycleEnd(n, now)
+	}
 	n.cycle++
 }
 
@@ -297,6 +310,9 @@ func (n *Network) deliverCredits(now int64) {
 				continue
 			}
 			n.routers[id].out[ev.port][ev.vc].credits++
+			if n.checker != nil {
+				n.checker.CreditDelivered(n, id, ev.port, ev.vc, n.routers[id].out[ev.port][ev.vc].credits)
+			}
 			if n.routers[id].out[ev.port][ev.vc].credits > n.cfg.BufferDepth {
 				panic("noc: credit overflow")
 			}
@@ -312,6 +328,9 @@ func (n *Network) deliverCredits(now int64) {
 				continue
 			}
 			n.nis[id].credits[ev.vc]++
+			if n.checker != nil {
+				n.checker.CreditDelivered(n, id, mesh.Local, ev.vc, n.nis[id].credits[ev.vc])
+			}
 			if n.nis[id].credits[ev.vc] > n.cfg.BufferDepth {
 				panic("noc: NI credit overflow")
 			}
@@ -494,6 +513,12 @@ func (n *Network) deliverFlits(now int64) {
 					k++
 					continue
 				}
+				// The checker sees the arrival before the simulator's own
+				// gating panic so a dark-router violation is reported with a
+				// full snapshot instead of a bare panic string.
+				if n.checker != nil {
+					n.checker.FlitArrived(n, id, mesh.Direction(p), ev.f.pkt, ev.f.typ, ev.f.vc)
+				}
 				r.checkGated()
 				v := &r.in[p][ev.f.vc]
 				v.push(ev.f, n.cfg.BufferDepth)
@@ -518,6 +543,10 @@ func (n *Network) deliverFlits(now int64) {
 				continue
 			}
 			n.stats.FlitsEjected++
+			n.classEjected[ev.f.pkt.Class]++
+			if n.checker != nil {
+				n.checker.FlitEjected(n, id, ev.f.pkt, ev.f.typ.IsTail())
+			}
 			if ev.f.typ.IsTail() {
 				pkt := ev.f.pkt
 				pkt.EjectedAt = now
@@ -577,6 +606,9 @@ func (n *Network) inject(now int64) {
 		nic.credits[nic.curVC]--
 		n.inbox[id][mesh.Local] = append(n.inbox[id][mesh.Local], arrival{f: f, t: now + 1})
 		n.stats.FlitsInjected++
+		if n.checker != nil {
+			n.checker.FlitInjected(n, id, pkt, f.seq)
+		}
 		if typ.IsHead() {
 			pkt.InjectedAt = now
 			n.stats.PacketsInjected++

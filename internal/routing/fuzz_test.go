@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"testing"
+
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/sprint"
+)
+
+// fuzzMod maps an arbitrary fuzz-provided int into [0, n).
+func fuzzMod(v, n int) int {
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return v
+}
+
+// FuzzCDORNextPort drives CDOR with arbitrary mesh shapes, master
+// placements, sprint levels, metrics, and endpoint pairs. The invariants are
+// the paper's Algorithm 2 guarantees, which the exhaustive property tests in
+// this package establish for every mesh up to 8×8: construction never
+// panics, dark endpoints error cleanly, and every in-region pair routes to
+// its destination through active nodes only, without revisiting a node.
+func FuzzCDORNextPort(f *testing.F) {
+	f.Add(4, 4, 0, 8, 0, 5)
+	f.Add(8, 8, 0, 16, 2, 9)
+	f.Add(3, 5, 7, 6, 0, 1)
+	f.Add(1, 1, 0, 1, 0, 0)
+	f.Add(6, 2, 11, 4, -3, 100)
+	f.Fuzz(func(t *testing.T, w, h, master, level, src, dst int) {
+		w, h = 1+fuzzMod(w, 8), 1+fuzzMod(h, 8)
+		m := mesh.New(w, h)
+		n := m.Nodes()
+		master = fuzzMod(master, n)
+		lvl := 1 + fuzzMod(level, n)
+		src, dst = fuzzMod(src, n), fuzzMod(dst, n)
+		metric := sprint.Euclidean
+		if fuzzMod(level, 2) == 1 {
+			metric = sprint.Hamming
+		}
+		region := sprint.NewRegion(m, master, lvl, metric)
+		alg := NewCDOR(region)
+
+		d, err := alg.NextPort(src, dst)
+		if !region.Active(src) || !region.Active(dst) {
+			if err == nil {
+				t.Fatalf("%dx%d master %d level %d: NextPort(%d,%d) did not reject a dark endpoint",
+					w, h, master, lvl, src, dst)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("%dx%d master %d level %d: NextPort(%d,%d): %v", w, h, master, lvl, src, dst, err)
+		}
+		if src == dst {
+			if d != mesh.Local {
+				t.Fatalf("NextPort(%d,%d) = %v, want Local", src, dst, d)
+			}
+		} else {
+			next, ok := m.Neighbor(src, d)
+			if !ok {
+				t.Fatalf("NextPort(%d,%d) = %v routes off-mesh", src, dst, d)
+			}
+			if !region.Active(next) {
+				t.Fatalf("NextPort(%d,%d) = %v routes into dark node %d", src, dst, d, next)
+			}
+		}
+
+		path, err := Path(m, alg, src, dst)
+		if err != nil {
+			t.Fatalf("%dx%d master %d level %d: Path(%d,%d): %v", w, h, master, lvl, src, dst, err)
+		}
+		seen := make(map[int]bool, len(path))
+		for _, id := range path {
+			if !region.Active(id) {
+				t.Fatalf("path %v leaves the active region at node %d", path, id)
+			}
+			if seen[id] {
+				t.Fatalf("path %v revisits node %d", path, id)
+			}
+			seen[id] = true
+		}
+	})
+}
