@@ -129,6 +129,7 @@ experiments:
   sensitivity extension: VC count & buffer depth sweep
   dimdark   extension: dim silicon (more slow cores) vs dark (few fast)
   llc       extension: Sec 3.4 LLC policies — bypass paths vs home remap
+  faults    extension: fault injection & online sprint-region repair
   all       everything above
 `)
 }
@@ -177,6 +178,8 @@ func run(name string, o options) error {
 		return dimDarkCmd(s, o.workers)
 	case "llc":
 		return llcCmd(s, o.check)
+	case "faults":
+		return faultsCmd(s, faultParams(o))
 	case "all":
 		for _, exp := range []func() error{
 			func() error { return table1(s) },
@@ -644,6 +647,8 @@ func runJSON(name string, o options) error {
 		result, err = core.DimVsDark(s, nil, nil, o.workers)
 	case "llc":
 		result, err = core.LLCStudy(s, core.LLCParams{Check: o.check})
+	case "faults":
+		result, err = core.FaultSweep(s, faultParams(o))
 	default:
 		return fmt.Errorf("experiment %q has no JSON form", name)
 	}
@@ -680,6 +685,43 @@ func dimDarkCmd(s *core.Sprinter, workers int) error {
 			pt.BudgetW, pt.Benchmark, pt.DarkLevel, pt.DarkPerf, dim, winner)
 	}
 	return w.Flush()
+}
+
+// faultParams maps the CLI options onto the fault-injection sweep: -fast
+// shrinks the horizon and sweep, -check keeps the invariant checker attached
+// through every repair, -workers fans the rate points across cores.
+func faultParams(o options) core.FaultParams {
+	p := core.FaultParams{Sim: core.NetSimParams{Workers: o.workers, Check: o.check}}
+	if o.fast {
+		p.Cycles = 8000
+		p.Rates = []float64{2, 8}
+	}
+	return p
+}
+
+func faultsCmd(s *core.Sprinter, p core.FaultParams) error {
+	header("Extension: fault injection & online sprint-region repair")
+	points, err := core.FaultSweep(s, p)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rate/10k\tfaults (P/T/L/trip)\tavail\tdelivered\tdropped\tdrop rate\tlat (cyc)\tfinal level\tmaster\tconvex\trepairs")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%.0f\t%d (%d/%d/%d/%d)\t%.1f%%\t%d\t%d\t%.3f%%\t%.1f\t%d\t%d\t%v\t%d\n",
+			pt.Rate, pt.Faults, pt.Permanent, pt.Transient, pt.LinkFaults, pt.Trips,
+			100*pt.Availability, pt.Delivered, pt.Dropped, 100*pt.DropRate,
+			pt.AvgLatency, pt.FinalLevel, pt.FinalMaster, pt.FinalConvex, pt.Repairs)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\ngovernor policy: permanent fault -> region re-formed from the activation")
+	fmt.Println("order over survivors (new master elected if the master died); transient")
+	fmt.Println("fault -> capped exponential-backoff resume; thermal trip -> sprint level")
+	fmt.Println("stepped down. Every repair quiesces and drains the fabric first, so no")
+	fmt.Println("flit is ever silently lost: undeliverable traffic lands in `dropped`.")
+	return nil
 }
 
 func llcCmd(s *core.Sprinter, check bool) error {

@@ -28,7 +28,7 @@ type Kind int
 
 const (
 	// Conservation: per-class flit census no longer balances
-	// (created != ejected + at-source + in-network).
+	// (created != ejected + dropped + at-source + in-network).
 	Conservation Kind = iota
 	// Credit: a credit counter left [0, BufferDepth].
 	Credit
@@ -137,6 +137,19 @@ func New(cfg Config) *Checker {
 // Violations returns the number of violations reported so far (only ever
 // more than one when Config.OnViolation suppresses the default panic).
 func (c *Checker) Violations() int64 { return c.violations }
+
+// SetRegion swaps the sprint region whose CDOR hop rules are enforced. The
+// fault-repair path calls it right after each Network.Reconfigure so the
+// checker stays attached — and stays strict — across every repair: the
+// fabric is empty at that boundary, so no in-flight flit is ever judged
+// against the wrong region. Passing nil disables region checks (plain DOR
+// discipline still applies if Config.DOR is set).
+func (c *Checker) SetRegion(r *sprint.Region) {
+	c.cfg.Region = r
+	if r != nil {
+		c.masterY = r.Mesh().Coord(r.Master()).Y
+	}
+}
 
 func (c *Checker) fail(n *noc.Network, kind Kind, format string, args ...any) {
 	c.violations++
@@ -296,10 +309,10 @@ func (c *Checker) CycleEnd(n *noc.Network, cycle int64) {
 		c.fail(n, Structural, "%v", err)
 	}
 	for class, cen := range n.FlitCensus() {
-		if cen.Created != cen.Ejected+cen.AtSource+cen.InNetwork {
+		if cen.Created != cen.Ejected+cen.Dropped+cen.AtSource+cen.InNetwork {
 			c.fail(n, Conservation,
-				"class %d: %d flits created but %d ejected + %d at source + %d in network",
-				class, cen.Created, cen.Ejected, cen.AtSource, cen.InNetwork)
+				"class %d: %d flits created but %d ejected + %d dropped + %d at source + %d in network",
+				class, cen.Created, cen.Ejected, cen.Dropped, cen.AtSource, cen.InNetwork)
 		}
 	}
 }

@@ -1,0 +1,308 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"nocsprint/internal/thermal"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	text := "perm:3@100\ntrans:7@50+400\nlink:1-2@200\ntrip@75"
+	s, err := Parse(text, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("parsed %d events, want 4", s.Len())
+	}
+	// Events come back sorted by cycle; re-parsing the rendering must be
+	// a fixed point.
+	got := s.String()
+	want := "trans:7@50+400\ntrip@75\nperm:3@100\nlink:1-2@200"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	s2, err := Parse(got, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.String() != got {
+		t.Fatalf("round trip not stable: %q -> %q", got, s2.String())
+	}
+}
+
+func TestParseSeparatorsAndBlanks(t *testing.T) {
+	s, err := Parse("  perm:0@5 ;; trans:1@6+10 \n\n trip@7 ", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("parsed %d events, want 3", s.Len())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"perm:3",            // no @cycle
+		"perm:x@10",         // bad node
+		"perm:3@ten",        // bad cycle
+		"perm:3@10+5",       // permanent with duration
+		"trans:3@10",        // transient without duration
+		"trans:3@10+x",      // bad duration
+		"trans:3@10+0",      // zero duration
+		"link:3@10",         // missing endpoints
+		"link:a-b@10",       // bad endpoints
+		"link:3-3@10",       // self loop
+		"trip:1@10",         // trip with operand
+		"melt:3@10",         // unknown kind
+		"perm:99@10",        // node outside mesh
+		"link:0-99@10",      // endpoint outside mesh
+		"perm:3@-1",         // negative cycle
+		"perm:0@1;perm:1@2", // retires all nodes (2-node mesh below)
+	}
+	for _, text := range cases {
+		if _, err := Parse(text, 2); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", text)
+		}
+	}
+}
+
+func TestValidateSurvivability(t *testing.T) {
+	// 3 nodes, schedule can retire nodes 0 and 1 via a link fault plus a
+	// transient on 2 — all three are potential casualties.
+	_, err := New(3, []Event{
+		{Cycle: 10, Kind: LinkPermanent, Node: -1, A: 0, B: 1},
+		{Cycle: 20, Kind: RouterTransient, Node: 2, A: -1, B: -1, Duration: 5},
+	})
+	if err == nil || !strings.Contains(err.Error(), "survivable") {
+		t.Fatalf("schedule retiring every node accepted (err=%v)", err)
+	}
+	// Leaving node 2 alone is fine.
+	if _, err := New(3, []Event{
+		{Cycle: 10, Kind: LinkPermanent, Node: -1, A: 0, B: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorDue(t *testing.T) {
+	s, err := Parse("perm:0@10\ntrans:1@10+5\nperm:2@30", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Cursor()
+	if evs := c.Due(9); evs != nil {
+		t.Fatalf("Due(9) = %v, want none", evs)
+	}
+	evs := c.Due(10)
+	if len(evs) != 2 || evs[0].Node != 0 || evs[1].Node != 1 {
+		t.Fatalf("Due(10) = %v, want both cycle-10 events in order", evs)
+	}
+	if evs := c.Due(29); evs != nil {
+		t.Fatalf("Due(29) = %v, want none (already consumed)", evs)
+	}
+	evs = c.Due(1000)
+	if len(evs) != 1 || evs[0].Node != 2 {
+		t.Fatalf("Due(1000) = %v, want the cycle-30 event", evs)
+	}
+	if evs := c.Due(1 << 40); evs != nil {
+		t.Fatalf("exhausted cursor returned %v", evs)
+	}
+}
+
+func TestHealthyAt(t *testing.T) {
+	s, err := Parse("perm:3@100\ntrans:5@50+40", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		node  int
+		cycle int64
+		want  bool
+	}{
+		{3, 99, true},   // before the permanent fault
+		{3, 100, false}, // at the fault
+		{3, 1 << 40, false},
+		{5, 49, true},  // before the transient
+		{5, 50, false}, // inside the window [50, 90)
+		{5, 89, false},
+		{5, 90, true}, // window over
+		{7, 0, true},  // never faulted
+	} {
+		if got := s.HealthyAt(tc.node, tc.cycle); got != tc.want {
+			t.Errorf("HealthyAt(%d, %d) = %v, want %v", tc.node, tc.cycle, got, tc.want)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := GenConfig{
+		Width: 4, Height: 4, Horizon: 10000,
+		Permanent: 3, Transient: 4, Links: 2, TransientDuration: 200,
+		Seed: 42,
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\n--\n%s", a, b)
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// Victims are distinct, link endpoints adjacent, cycles in [1, Horizon).
+	seen := map[int]bool{}
+	var perm, trans, links int
+	for _, e := range a.Events() {
+		if e.Cycle < 1 || e.Cycle >= cfg.Horizon {
+			t.Errorf("event %v outside [1, %d)", e, cfg.Horizon)
+		}
+		switch e.Kind {
+		case RouterPermanent, RouterTransient:
+			if seen[e.Node] {
+				t.Errorf("victim %d reused", e.Node)
+			}
+			seen[e.Node] = true
+			if e.Kind == RouterPermanent {
+				perm++
+			} else {
+				trans++
+				if e.Duration != 200 {
+					t.Errorf("transient duration %d, want 200", e.Duration)
+				}
+			}
+		case LinkPermanent:
+			links++
+			if seen[e.A] {
+				t.Errorf("link victim %d reused", e.A)
+			}
+			seen[e.A] = true
+			ax, ay := e.A%4, e.A/4
+			bx, by := e.B%4, e.B/4
+			if d := abs(ax-bx) + abs(ay-by); d != 1 {
+				t.Errorf("link %d-%d not a mesh edge", e.A, e.B)
+			}
+		}
+	}
+	if perm != 3 || trans != 4 || links != 2 {
+		t.Fatalf("got %d/%d/%d perm/trans/link events, want 3/4/2", perm, trans, links)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestGenerateCandidatesRestrictVictims(t *testing.T) {
+	pool := []int{0, 1, 4, 5}
+	s, err := Generate(GenConfig{
+		Width: 4, Height: 4, Horizon: 1000,
+		Permanent: 2, Transient: 1, TransientDuration: 10,
+		Candidates: pool, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := map[int]bool{0: true, 1: true, 4: true, 5: true}
+	for _, e := range s.Events() {
+		if !ok[e.Node] {
+			t.Errorf("victim %d outside candidate pool", e.Node)
+		}
+	}
+}
+
+func TestGenerateRejectsUnsurvivable(t *testing.T) {
+	_, err := Generate(GenConfig{
+		Width: 2, Height: 2, Horizon: 1000,
+		Permanent: 2, Transient: 1, Links: 1, TransientDuration: 10, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("unsurvivable config accepted")
+	}
+	if _, err := Generate(GenConfig{Width: 0, Height: 4, Horizon: 100}); err == nil {
+		t.Fatal("invalid mesh accepted")
+	}
+	if _, err := Generate(GenConfig{Width: 4, Height: 4, Horizon: 1}); err == nil {
+		t.Fatal("degenerate horizon accepted")
+	}
+	if _, err := Generate(GenConfig{Width: 4, Height: 4, Horizon: 100, Transient: 1}); err == nil {
+		t.Fatal("transient without duration accepted")
+	}
+	if _, err := Generate(GenConfig{Width: 4, Height: 4, Horizon: 100, Candidates: []int{99}}); err == nil {
+		t.Fatal("out-of-mesh candidate accepted")
+	}
+}
+
+func TestGenerateManyFaultsOnSmallMesh(t *testing.T) {
+	// The near-worst survivable load on a 4x4: 15 of 16 nodes are potential
+	// casualties. Link faults draw first, so partners must still exist.
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := Generate(GenConfig{
+			Width: 4, Height: 4, Horizon: 10000,
+			Permanent: 4, Transient: 5, Links: 3, TransientDuration: 100, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Len() != 12 {
+			t.Fatalf("seed %d: %d events, want 12", seed, s.Len())
+		}
+	}
+}
+
+func TestTripFromLumped(t *testing.T) {
+	l := thermal.DefaultLumped()
+	const spc = 1e-4 // 10k cycles = 1 s of thermal time
+
+	// Far above TDP: the die must cross the trip point within the horizon.
+	hot := 4 * l.SustainablePower()
+	ev, ok, err := TripFromLumped(l, hot, l.PCM.MeltK, spc, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("sprint power never tripped")
+	}
+	if ev.Kind != ThermalTrip || ev.Cycle < 1 || ev.Cycle >= 10000 {
+		t.Fatalf("trip event %v outside horizon", ev)
+	}
+	// Determinism.
+	ev2, ok2, _ := TripFromLumped(l, hot, l.PCM.MeltK, spc, 10000)
+	if !ok2 || ev2 != ev {
+		t.Fatalf("trip not deterministic: %v vs %v", ev, ev2)
+	}
+
+	// Sustainable power never reaches the trip temperature.
+	if _, ok, err := TripFromLumped(l, 0.5*l.SustainablePower(), l.MaxK, spc, 10000); err != nil || ok {
+		t.Fatalf("sustainable power tripped (ok=%v err=%v)", ok, err)
+	}
+
+	// Invalid trip temperatures and scaling are rejected.
+	if _, _, err := TripFromLumped(l, hot, l.AmbientK, spc, 10000); err == nil {
+		t.Fatal("trip at ambient accepted")
+	}
+	if _, _, err := TripFromLumped(l, hot, l.MaxK+1, spc, 10000); err == nil {
+		t.Fatal("trip above junction limit accepted")
+	}
+	if _, _, err := TripFromLumped(l, hot, l.PCM.MeltK, 0, 10000); err == nil {
+		t.Fatal("zero seconds-per-cycle accepted")
+	}
+	if _, _, err := TripFromLumped(l, hot, l.PCM.MeltK, spc, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}

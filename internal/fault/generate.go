@@ -1,0 +1,164 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocsprint/internal/mesh"
+	"nocsprint/internal/thermal"
+)
+
+// GenConfig parameterises deterministic schedule generation over a
+// Width×Height mesh.
+type GenConfig struct {
+	// Width and Height are the mesh dimensions.
+	Width, Height int
+	// Horizon is the cycle range faults are placed in: every generated
+	// event fires in [1, Horizon).
+	Horizon int64
+	// Permanent, Transient, and Links are the event counts per class.
+	Permanent, Transient, Links int
+	// TransientDuration is the outage length of each transient fault.
+	TransientDuration int64
+	// Candidates, when non-nil, restricts the victim pool (for example to
+	// the initially-active region so every fault matters). Victims are
+	// distinct across the whole schedule, so the survivability invariant
+	// (Validate) holds whenever enough candidates remain un-faulted.
+	Candidates []int
+	// Seed drives the generator; equal configs yield equal schedules.
+	Seed int64
+}
+
+// Generate builds a seeded, validated fault schedule: distinct victims drawn
+// from the candidate pool, fault cycles uniform over the horizon, link
+// faults placed on a mesh edge incident to their victim. The output is fully
+// determined by cfg.
+func Generate(cfg GenConfig) (*Schedule, error) {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		return nil, fmt.Errorf("fault: invalid mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.Horizon < 2 {
+		return nil, fmt.Errorf("fault: horizon %d leaves no room for faults", cfg.Horizon)
+	}
+	if cfg.Permanent < 0 || cfg.Transient < 0 || cfg.Links < 0 {
+		return nil, fmt.Errorf("fault: negative event counts")
+	}
+	if cfg.Transient > 0 && cfg.TransientDuration < 1 {
+		return nil, fmt.Errorf("fault: transient faults need a duration >= 1")
+	}
+	m := mesh.New(cfg.Width, cfg.Height)
+	pool := cfg.Candidates
+	if pool == nil {
+		pool = make([]int, m.Nodes())
+		for i := range pool {
+			pool[i] = i
+		}
+	}
+	for _, id := range pool {
+		if id < 0 || id >= m.Nodes() {
+			return nil, fmt.Errorf("fault: candidate %d outside %dx%d mesh", id, cfg.Width, cfg.Height)
+		}
+	}
+	// Each link fault can retire either endpoint, so it consumes its victim
+	// and one neighbour from the survivable budget.
+	need := cfg.Permanent + cfg.Transient + 2*cfg.Links
+	if need >= m.Nodes() {
+		return nil, fmt.Errorf("fault: %d potential casualties would not leave a survivor in %d nodes",
+			need, m.Nodes())
+	}
+	if cfg.Permanent+cfg.Transient+cfg.Links > len(pool) {
+		return nil, fmt.Errorf("fault: %d faults need more victims than the %d candidates",
+			cfg.Permanent+cfg.Transient+cfg.Links, len(pool))
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	victims := append([]int(nil), pool...)
+	rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+
+	used := make(map[int]bool)
+	takeVictim := func() int {
+		v := victims[0]
+		victims = victims[1:]
+		used[v] = true
+		return v
+	}
+	cycle := func() int64 { return 1 + rng.Int63n(cfg.Horizon-1) }
+
+	// Link faults are placed first, while the casualty set is smallest: each
+	// needs a victim with an un-faulted neighbour to pair with, which is
+	// near-guaranteed before router faults consume the pool and would often
+	// be impossible after.
+	var events []Event
+	for i := 0; i < cfg.Links; i++ {
+		// Skip victims whose every neighbour is already a casualty — pairing
+		// with one would let the schedule retire the whole mesh.
+		v, partner := -1, -1
+		for v == -1 && len(victims) > 0 {
+			cand := takeVictim()
+			for _, d := range [...]mesh.Direction{mesh.North, mesh.East, mesh.South, mesh.West} {
+				if nb, ok := m.Neighbor(cand, d); ok && !used[nb] {
+					v, partner = cand, nb
+					break
+				}
+			}
+		}
+		if v == -1 {
+			return nil, fmt.Errorf("fault: no victim with an un-faulted neighbour left for link fault %d", i)
+		}
+		used[partner] = true
+		events = append(events, Event{Cycle: cycle(), Kind: LinkPermanent, Node: -1, A: v, B: partner})
+	}
+	for i := 0; i < cfg.Permanent; i++ {
+		if len(victims) == 0 {
+			return nil, fmt.Errorf("fault: victim pool exhausted before permanent fault %d", i)
+		}
+		events = append(events, Event{Cycle: cycle(), Kind: RouterPermanent, Node: takeVictim(), A: -1, B: -1})
+	}
+	for i := 0; i < cfg.Transient; i++ {
+		if len(victims) == 0 {
+			return nil, fmt.Errorf("fault: victim pool exhausted before transient fault %d", i)
+		}
+		events = append(events, Event{
+			Cycle: cycle(), Kind: RouterTransient, Node: takeVictim(), A: -1, B: -1,
+			Duration: cfg.TransientDuration,
+		})
+	}
+	return New(m.Nodes(), events)
+}
+
+// TripFromLumped derives a thermal-emergency trip event from the lumped RC
+// model: it integrates l at constant powerW from ambient and returns the
+// first cycle the die crosses tripK, with secondsPerCycle scaling simulation
+// cycles to thermal time. The second result is false when the power never
+// reaches tripK within horizon cycles — the sprint is thermally sustainable
+// at that level and no trip fires.
+func TripFromLumped(l thermal.Lumped, powerW, tripK, secondsPerCycle float64, horizon int64) (Event, bool, error) {
+	if err := l.Validate(); err != nil {
+		return Event{}, false, err
+	}
+	if secondsPerCycle <= 0 || horizon < 1 {
+		return Event{}, false, fmt.Errorf("fault: invalid trip scaling (%g s/cycle over %d cycles)",
+			secondsPerCycle, horizon)
+	}
+	if tripK <= l.AmbientK || tripK > l.MaxK {
+		return Event{}, false, fmt.Errorf("fault: trip temperature %g K outside (ambient %g, max %g]",
+			tripK, l.AmbientK, l.MaxK)
+	}
+	samples, err := l.Timeline(powerW, secondsPerCycle, float64(horizon)*secondsPerCycle, 1)
+	if err != nil {
+		return Event{}, false, err
+	}
+	for _, s := range samples {
+		if s.TempK >= tripK {
+			c := int64(s.TimeS/secondsPerCycle + 0.5)
+			if c < 1 {
+				c = 1
+			}
+			if c >= horizon {
+				return Event{}, false, nil
+			}
+			return Event{Cycle: c, Kind: ThermalTrip, Node: -1, A: -1, B: -1}, true, nil
+		}
+	}
+	return Event{}, false, nil
+}

@@ -43,13 +43,16 @@ func (n *Network) SetChecker(c Checker) { n.checker = c }
 func (n *Network) RouterActive(id int) bool { return n.routers[id].active }
 
 // ClassCensus is the flit population of one message class, for conservation
-// checks: Created == Ejected + AtSource + InNetwork must hold at every cycle
-// boundary.
+// checks: Created == Ejected + Dropped + AtSource + InNetwork must hold at
+// every cycle boundary.
 type ClassCensus struct {
 	// Created counts all flits of packets ever created in this class.
 	Created int64
 	// Ejected counts flits delivered to destination NIs.
 	Ejected int64
+	// Dropped counts flits discarded by reconfiguration: queued packets
+	// whose endpoint went dark, and in-flight flits sunk at a retiring node.
+	Dropped int64
 	// AtSource counts flits still owed by source NIs: whole queued packets
 	// plus the un-issued remainder of partially injected ones.
 	AtSource int64
@@ -66,6 +69,7 @@ func (n *Network) FlitCensus() []ClassCensus {
 	for c := range out {
 		out[c].Created = n.classCreated[c]
 		out[c].Ejected = n.classEjected[c]
+		out[c].Dropped = n.classDropped[c]
 	}
 	for id, nic := range n.nis {
 		for _, pkt := range nic.queue {
@@ -103,8 +107,9 @@ func (n *Network) Snapshot() string {
 	fmt.Fprintf(&b, "network snapshot at cycle %d: %dx%d mesh, %d VCs x depth %d, %d classes\n",
 		n.cycle, n.cfg.Width, n.cfg.Height, n.cfg.VCs, n.cfg.BufferDepth, n.cfg.classes())
 	s := n.Stats()
-	fmt.Fprintf(&b, "packets: created %d injected %d ejected %d (in flight %d); flits: injected %d ejected %d\n",
-		s.PacketsCreated, s.PacketsInjected, s.PacketsEjected, n.InFlight(), s.FlitsInjected, s.FlitsEjected)
+	fmt.Fprintf(&b, "packets: created %d injected %d ejected %d dropped %d (in flight %d); flits: injected %d ejected %d dropped %d\n",
+		s.PacketsCreated, s.PacketsInjected, s.PacketsEjected, s.PacketsDropped, n.InFlight(),
+		s.FlitsInjected, s.FlitsEjected, s.FlitsDropped)
 	for id, r := range n.routers {
 		nic := n.nis[id]
 		inflight := 0

@@ -30,6 +30,12 @@ type Stats struct {
 	// FlitsInjected and FlitsEjected count flits entering/leaving the
 	// network fabric.
 	FlitsInjected, FlitsEjected int64
+	// PacketsDropped and FlitsDropped count traffic discarded by
+	// reconfiguration (Reconfigure): source-queued packets whose endpoint
+	// left the active set, and in-flight flits delivered to a node being
+	// retired. Dropped traffic is terminal — it leaves InFlight and is a
+	// separate census bucket, never silently lost.
+	PacketsDropped, FlitsDropped int64
 	// MeasuredCreated and MeasuredEjected count packets created inside the
 	// measurement window and their completions.
 	MeasuredCreated, MeasuredEjected int64
@@ -69,6 +75,8 @@ func (s Stats) Sub(o Stats) Stats {
 		PacketsEjected:  s.PacketsEjected - o.PacketsEjected,
 		FlitsInjected:   s.FlitsInjected - o.FlitsInjected,
 		FlitsEjected:    s.FlitsEjected - o.FlitsEjected,
+		PacketsDropped:  s.PacketsDropped - o.PacketsDropped,
+		FlitsDropped:    s.FlitsDropped - o.FlitsDropped,
 		MeasuredCreated: s.MeasuredCreated - o.MeasuredCreated,
 		MeasuredEjected: s.MeasuredEjected - o.MeasuredEjected,
 		LatencySum:      s.LatencySum - o.LatencySum,
@@ -128,9 +136,17 @@ type Network struct {
 	// checker, when non-nil, observes simulator events for runtime
 	// invariant enforcement (see checker.go and internal/check).
 	checker Checker
-	// classCreated/classEjected count flits per message class for
-	// conservation checking (indexed by Packet.Class).
-	classCreated, classEjected []int64
+	// classCreated/classEjected/classDropped count flits per message class
+	// for conservation checking (indexed by Packet.Class).
+	classCreated, classEjected, classDropped []int64
+	// quiesced suspends new packet starts at every NI while a
+	// reconfiguration drains the fabric (see reconfig.go). Queued packets
+	// stay queued; a packet mid-injection finishes normally.
+	quiesced bool
+	// dropDst, during a reconfiguration drain, marks nodes being retired:
+	// flits ejecting there are counted dropped (the dead node cannot
+	// consume them) instead of delivered. Nil outside reconfiguration.
+	dropDst []bool
 }
 
 // New builds a network over cfg's mesh using routing algorithm alg.
@@ -169,6 +185,7 @@ func New(cfg Config, alg routing.Algorithm, activeNodes []int) (*Network, error)
 
 		classCreated: make([]int64, cfg.classes()),
 		classEjected: make([]int64, cfg.classes()),
+		classDropped: make([]int64, cfg.classes()),
 	}
 	for id := 0; id < m.Nodes(); id++ {
 		n.routers[id] = newRouter(id, cfg, m, activeSet[id])
@@ -230,19 +247,38 @@ func (n *Network) EnqueueClass(src, dst, class int) *Packet {
 }
 
 // EnqueuePacket creates a packet with an explicit flit count — protocol
-// models use short control packets and long data packets.
+// models use short control packets and long data packets. It panics when
+// src or dst is gated: callers using it assert a fixed topology, so a gated
+// endpoint is a programming error. Traffic that can legitimately race with
+// fault-driven reconfiguration goes through TryEnqueuePacket instead.
 func (n *Network) EnqueuePacket(src, dst, class, length int) *Packet {
-	if !n.nis[src].active {
-		panic(fmt.Sprintf("noc: enqueue at gated node %d", src))
+	p, err := n.TryEnqueuePacket(src, dst, class, length)
+	if err != nil {
+		panic(err.Error())
 	}
-	if !n.nis[dst].active {
-		panic(fmt.Sprintf("noc: enqueue toward gated node %d", dst))
-	}
+	return p
+}
+
+// TryEnqueuePacket is EnqueuePacket with the gating precondition turned
+// into an error: it refuses (rather than panics) when src or dst is outside
+// the mesh or currently dark, so traffic generators and the sprint governor
+// can treat a race with reconfiguration as a dropped offer. Invalid class
+// or length still panic — those are programming errors in any topology.
+func (n *Network) TryEnqueuePacket(src, dst, class, length int) (*Packet, error) {
 	if class < 0 || class >= n.cfg.classes() {
 		panic(fmt.Sprintf("noc: class %d outside [0,%d)", class, n.cfg.classes()))
 	}
 	if length < 1 {
 		panic(fmt.Sprintf("noc: packet length %d < 1", length))
+	}
+	if src < 0 || src >= len(n.nis) || dst < 0 || dst >= len(n.nis) {
+		return nil, fmt.Errorf("noc: enqueue %d->%d outside mesh", src, dst)
+	}
+	if !n.nis[src].active {
+		return nil, fmt.Errorf("noc: enqueue at gated node %d", src)
+	}
+	if !n.nis[dst].active {
+		return nil, fmt.Errorf("noc: enqueue toward gated node %d", dst)
 	}
 	p := &Packet{
 		ID:         n.nextPacketID,
@@ -262,11 +298,14 @@ func (n *Network) EnqueuePacket(src, dst, class, length int) *Packet {
 		n.stats.MeasuredCreated++
 	}
 	n.nis[src].queue = append(n.nis[src].queue, p)
-	return p
+	return p, nil
 }
 
-// InFlight returns the number of packets created but not yet fully ejected.
-func (n *Network) InFlight() int64 { return n.stats.PacketsCreated - n.stats.PacketsEjected }
+// InFlight returns the number of packets created but neither fully ejected
+// nor dropped by a reconfiguration.
+func (n *Network) InFlight() int64 {
+	return n.stats.PacketsCreated - n.stats.PacketsEjected - n.stats.PacketsDropped
+}
 
 // Drained reports whether no packets remain anywhere in the system.
 func (n *Network) Drained() bool { return n.InFlight() == 0 }
@@ -542,6 +581,21 @@ func (n *Network) deliverFlits(now int64) {
 				k++
 				continue
 			}
+			// During a reconfiguration drain, a node being retired can no
+			// longer consume traffic: flits reaching its NI traversed the
+			// fabric normally (credits and buffers all accounted) but are
+			// discarded here as dropped rather than delivered.
+			if n.dropDst != nil && n.dropDst[id] {
+				n.stats.FlitsDropped++
+				n.classDropped[ev.f.pkt.Class]++
+				if n.checker != nil {
+					n.checker.FlitEjected(n, id, ev.f.pkt, ev.f.typ.IsTail())
+				}
+				if ev.f.typ.IsTail() {
+					n.stats.PacketsDropped++
+				}
+				continue
+			}
 			n.stats.FlitsEjected++
 			n.classEjected[ev.f.pkt.Class]++
 			if n.checker != nil {
@@ -572,7 +626,7 @@ func (n *Network) inject(now int64) {
 		if !nic.active {
 			continue
 		}
-		if nic.cur == nil && len(nic.queue) > 0 {
+		if nic.cur == nil && len(nic.queue) > 0 && !n.quiesced {
 			// Serve the oldest packet whose class still has a free VC;
 			// classes are independent, so a stalled class must not block
 			// the others at the source (order within a class is kept).

@@ -20,16 +20,14 @@ func fullNet(t *testing.T, cfg Config) *Network {
 	return net
 }
 
-// runUntilDrained steps the network until no packets are in flight.
+// runUntilDrained steps the network until no packets are in flight — a thin
+// t.Fatal wrapper over the exported bounded-drain primitive the
+// reconfiguration path uses.
 func runUntilDrained(t *testing.T, net *Network, limit int) {
 	t.Helper()
-	for i := 0; i < limit; i++ {
-		if net.Drained() {
-			return
-		}
-		net.Step()
+	if err := net.DrainWithBudget(limit); err != nil {
+		t.Fatal(err)
 	}
-	t.Fatalf("network did not drain within %d cycles (%d in flight)", limit, net.InFlight())
 }
 
 func TestConfigValidate(t *testing.T) {
