@@ -1,0 +1,109 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseArgsCheckpointFlags(t *testing.T) {
+	got, exp, err := parseArgs([]string{"fig11", "-timeout", "30s", "-checkpoint", "ckptdir", "-resume"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp != "fig11" || got.timeout != 30*time.Second || got.checkpoint != "ckptdir" || !got.resume {
+		t.Errorf("parseArgs = %+v, %q", got, exp)
+	}
+
+	if _, _, err := parseArgs([]string{"fig11", "-resume"}, io.Discard); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if _, _, err := parseArgs([]string{"fig11", "-timeout", "-5s"}, io.Discard); err == nil {
+		t.Error("negative -timeout accepted")
+	}
+}
+
+// TestOpenCheckpointLifecycle walks the CLI checkpoint state machine: fresh
+// create, resume of a valid journal, and the degrade-to-fresh paths (meta
+// mismatch, corrupt meta, corrupt journal) that must warn and truncate
+// rather than abort the run.
+func TestOpenCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	o := options{checkpoint: dir}
+
+	j, err := openCheckpoint(o, "fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("point-a", map[string]int{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Valid resume reloads the journaled point.
+	o.resume = true
+	j, err = openCheckpoint(o, "fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("resume loaded %d points, want 1", j.Len())
+	}
+	j.Close()
+
+	// A -fast run must not consume a slow run's checkpoint: meta mismatch
+	// degrades to a fresh (empty) journal.
+	oFast := o
+	oFast.fast = true
+	j, err = openCheckpoint(oFast, "fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("meta-mismatched resume kept %d points, want fresh journal", j.Len())
+	}
+	j.Close()
+
+	// Rebuild a valid checkpoint, then corrupt the journal: resume warns and
+	// starts fresh instead of aborting.
+	j, err = openCheckpoint(options{checkpoint: dir}, "fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append("point-a", 1)
+	jpath := j.Path()
+	j.Close()
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(jpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err = openCheckpoint(o, "fig11")
+	if err != nil {
+		t.Fatalf("corrupt journal aborted the run: %v", err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("corrupt journal resumed with %d points, want fresh", j.Len())
+	}
+	j.Close()
+
+	// Corrupt metadata snapshot likewise degrades to fresh.
+	if err := os.WriteFile(filepath.Join(dir, "fig11.meta.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err = openCheckpoint(o, "fig11")
+	if err != nil {
+		t.Fatalf("corrupt meta aborted the run: %v", err)
+	}
+	if j.Len() != 0 {
+		t.Fatal("corrupt meta did not force a fresh journal")
+	}
+	j.Close()
+}

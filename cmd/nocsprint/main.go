@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -21,9 +22,14 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
+	"nocsprint/internal/ckpt"
 	"nocsprint/internal/core"
 	"nocsprint/internal/noc"
 	"nocsprint/internal/power"
@@ -33,10 +39,20 @@ import (
 
 // options are the command-line knobs shared by every experiment.
 type options struct {
-	fast    bool
-	json    bool
-	check   bool
-	workers int
+	fast       bool
+	json       bool
+	check      bool
+	workers    int
+	timeout    time.Duration
+	checkpoint string
+	resume     bool
+
+	// Runtime state wired up by execute, not flags: the sweep-level and
+	// point-level cancellation contexts and the open checkpoint journal
+	// (nil when -checkpoint is not given).
+	ctx     context.Context
+	abort   context.Context
+	journal *ckpt.Journal
 }
 
 // parseArgs parses flags placed before and/or after the experiment name.
@@ -54,6 +70,9 @@ func parseArgs(args []string, output io.Writer) (options, string, error) {
 	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
 	fs.BoolVar(&o.check, "check", false, "enable runtime invariant checking on every simulation")
 	fs.IntVar(&o.workers, "workers", 0, "parallel sweep workers: 0 = all cores, 1 = serial")
+	fs.DurationVar(&o.timeout, "timeout", 0, "cancel the run gracefully after this duration (0 = none)")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "directory for the crash-safe sweep journal")
+	fs.BoolVar(&o.resume, "resume", false, "skip sweep points already in the -checkpoint journal")
 	if err := fs.Parse(args); err != nil {
 		return options{}, "", err
 	}
@@ -74,6 +93,12 @@ func parseArgs(args []string, output io.Writer) (options, string, error) {
 	if o.workers < 0 {
 		return options{}, "", fmt.Errorf("-workers %d: must be >= 0", o.workers)
 	}
+	if o.timeout < 0 {
+		return options{}, "", fmt.Errorf("-timeout %v: must be >= 0", o.timeout)
+	}
+	if o.resume && o.checkpoint == "" {
+		return options{}, "", errors.New("-resume requires -checkpoint")
+	}
 	return o, exp, nil
 }
 
@@ -86,15 +111,114 @@ func main() {
 		}
 		os.Exit(2)
 	}
-	if opts.json {
-		err = runJSON(exp, opts)
-	} else {
-		err = run(exp, opts)
-	}
-	if err != nil {
+	if err := execute(exp, opts); err != nil {
 		fmt.Fprintf(os.Stderr, "nocsprint: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// execute wraps one experiment run with the interruption-tolerance layer:
+// a sweep-level context cancelled by the first SIGINT/SIGTERM (or -timeout),
+// a point-level abort context cancelled by a second signal, and the
+// checkpoint journal when -checkpoint is given. The first signal lets
+// in-flight sweep points finish and be journaled; the second stops them
+// mid-run at cycle granularity.
+func execute(exp string, o options) error {
+	sweepCtx, cancelSweep := context.WithCancel(context.Background())
+	defer cancelSweep()
+	abortCtx, cancelAbort := context.WithCancel(context.Background())
+	defer cancelAbort()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "nocsprint: interrupted — letting in-flight points finish (interrupt again to abort them)")
+		cancelSweep()
+		if _, ok := <-sigc; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "nocsprint: second interrupt — aborting in-flight points")
+		cancelAbort()
+	}()
+
+	if o.timeout > 0 {
+		t := time.AfterFunc(o.timeout, func() {
+			fmt.Fprintf(os.Stderr, "nocsprint: timeout %v reached — letting in-flight points finish\n", o.timeout)
+			cancelSweep()
+		})
+		defer t.Stop()
+	}
+
+	if o.checkpoint != "" {
+		j, err := openCheckpoint(o, exp)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		o.journal = j
+	}
+	o.ctx, o.abort = sweepCtx, abortCtx
+
+	var err error
+	if o.json {
+		err = runJSON(exp, o)
+	} else {
+		err = run(exp, o)
+	}
+	if err != nil && errors.Is(err, context.Canceled) && o.journal != nil {
+		fmt.Fprintf(os.Stderr, "nocsprint: %d completed point(s) saved in %s\n", o.journal.Len(), o.journal.Path())
+		fmt.Fprintf(os.Stderr, "nocsprint: resume with: nocsprint %s -checkpoint %s -resume\n", exp, o.checkpoint)
+	}
+	return err
+}
+
+// checkpointMeta pins a checkpoint directory to the run shape that wrote it.
+// Only parameters that change sweep results belong here; -workers and -check
+// are deliberately absent, so a checkpoint taken at one setting resumes
+// under any other.
+type checkpointMeta struct {
+	Experiment string
+	Fast       bool
+}
+
+// openCheckpoint prepares the journal for one experiment run inside the
+// -checkpoint directory. A fresh run truncates; -resume reloads the journal
+// after validating the metadata snapshot, and degrades to a fresh run — with
+// a warning, never an abort — when the checkpoint is missing, corrupt, or
+// belongs to a different run shape.
+func openCheckpoint(o options, exp string) (*ckpt.Journal, error) {
+	if err := os.MkdirAll(o.checkpoint, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	jpath := filepath.Join(o.checkpoint, exp+".journal")
+	mpath := filepath.Join(o.checkpoint, exp+".meta.json")
+	want := checkpointMeta{Experiment: exp, Fast: o.fast}
+	if o.resume {
+		var have checkpointMeta
+		err := ckpt.ReadSnapshot(mpath, &have)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "nocsprint: cannot resume (%v); starting fresh\n", err)
+		case have != want:
+			fmt.Fprintf(os.Stderr, "nocsprint: checkpoint %s belongs to %q (fast=%v), not this run; starting fresh\n",
+				o.checkpoint, have.Experiment, have.Fast)
+		default:
+			j, err := ckpt.Open(jpath)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "nocsprint: resuming: %d completed point(s) in %s\n", j.Len(), jpath)
+				return j, nil
+			}
+			fmt.Fprintf(os.Stderr, "nocsprint: checkpoint journal rejected (%v); starting fresh\n", err)
+		}
+	}
+	if err := ckpt.WriteSnapshot(mpath, want); err != nil {
+		return nil, err
+	}
+	return ckpt.Create(jpath)
 }
 
 func usage(w io.Writer) {
@@ -108,6 +232,20 @@ flags:
                hop rules, and a deadlock watchdog (results are unchanged;
                violations abort with a network-state snapshot)
   -workers N   parallel sweep workers: 0 = all cores (default), 1 = serial
+  -timeout D   cancel the run gracefully after duration D (e.g. 90s, 10m);
+               in-flight sweep points finish and are journaled
+  -checkpoint DIR
+               crash-safe sweeps: journal every completed sweep point to DIR
+               (fsynced as it finishes), so an interrupted run loses at most
+               the points still in flight
+  -resume      with -checkpoint: skip points already journaled; the merged
+               output is bit-identical to an uninterrupted run, at any
+               -workers count (a corrupt or mismatched checkpoint is
+               rejected with a warning and the run starts fresh)
+
+signals: the first SIGINT/SIGTERM stops claiming new sweep points, lets
+in-flight points finish (journaling them), and exits with a partial-result
+summary; a second signal aborts in-flight points at cycle granularity.
 
 experiments:
   table1    system & interconnect configuration (Table 1)
@@ -175,7 +313,7 @@ func run(name string, o options) error {
 	case "sensitivity":
 		return sensitivityCmd(sim)
 	case "dimdark":
-		return dimDarkCmd(s, o.workers)
+		return dimDarkCmd(s, sim)
 	case "llc":
 		return llcCmd(s, o.check)
 	case "faults":
@@ -207,9 +345,13 @@ func run(name string, o options) error {
 }
 
 // simParams maps the CLI options onto the experiment-layer parameter
-// structs; -workers threads through to the parallel sweep runner.
+// structs; -workers threads through to the parallel sweep runner, and the
+// cancellation contexts and checkpoint journal ride along.
 func simParams(o options) (core.NetSimParams, core.Fig11Params) {
-	sim := core.NetSimParams{Workers: o.workers, Check: o.check}
+	sim := core.NetSimParams{
+		Workers: o.workers, Check: o.check,
+		Ctx: o.ctx, Abort: o.abort, Journal: o.journal,
+	}
 	if o.fast {
 		sim.Warmup, sim.Measure, sim.Drain = 300, 1000, 10000
 	}
@@ -644,7 +786,7 @@ func runJSON(name string, o options) error {
 	case "sensitivity":
 		result, err = core.SensitivitySweep(sim)
 	case "dimdark":
-		result, err = core.DimVsDark(s, nil, nil, o.workers)
+		result, err = core.DimVsDark(s, nil, nil, sim)
 	case "llc":
 		result, err = core.LLCStudy(s, core.LLCParams{Check: o.check})
 	case "faults":
@@ -664,9 +806,9 @@ func runJSON(name string, o options) error {
 	})
 }
 
-func dimDarkCmd(s *core.Sprinter, workers int) error {
+func dimDarkCmd(s *core.Sprinter, sim core.NetSimParams) error {
 	header("Extension: dim silicon vs dark silicon under a power budget")
-	points, err := core.DimVsDark(s, nil, nil, workers)
+	points, err := core.DimVsDark(s, nil, nil, sim)
 	if err != nil {
 		return err
 	}
@@ -691,7 +833,10 @@ func dimDarkCmd(s *core.Sprinter, workers int) error {
 // shrinks the horizon and sweep, -check keeps the invariant checker attached
 // through every repair, -workers fans the rate points across cores.
 func faultParams(o options) core.FaultParams {
-	p := core.FaultParams{Sim: core.NetSimParams{Workers: o.workers, Check: o.check}}
+	p := core.FaultParams{Sim: core.NetSimParams{
+		Workers: o.workers, Check: o.check,
+		Ctx: o.ctx, Abort: o.abort, Journal: o.journal,
+	}}
 	if o.fast {
 		p.Cycles = 8000
 		p.Rates = []float64{2, 8}

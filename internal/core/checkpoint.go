@@ -1,0 +1,30 @@
+package core
+
+import (
+	"nocsprint/internal/ckpt"
+)
+
+// Sweep checkpointing: every parallel sweep driver funnels its points
+// through ckpt.Run with a canonical per-point key, so a sweep handed a
+// NetSimParams.Journal survives interrupts — completed points are fsynced
+// as they finish and skipped on resume — and a resumed sweep's output is
+// bit-identical to an uninterrupted run.
+
+// pointKey builds the canonical journal key of one sweep point: the driver
+// name, the configuration the point runs under, the simulation windows and
+// base seed, and the point's own coordinates. Everything that determines
+// the point's result must be in here — a stale journal then can never
+// satisfy a changed sweep, because changed parameters change every key.
+// Workers and Check are deliberately excluded: worker count and the
+// observational invariant checker are both proven (by the determinism and
+// zero-drift tests) not to affect results, so a checkpoint taken at one
+// setting resumes under any other.
+func pointKey(driver string, cfg, point any, sim NetSimParams) (string, error) {
+	return ckpt.Key(struct {
+		Driver                 string
+		Config                 any
+		Warmup, Measure, Drain int
+		Seed                   int64
+		Point                  any
+	}{driver, cfg, sim.Warmup, sim.Measure, sim.Drain, sim.Seed, point})
+}

@@ -7,9 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nocsprint/internal/check"
+	"nocsprint/internal/ckpt"
 	"nocsprint/internal/floorplan"
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/noc"
@@ -281,6 +283,35 @@ type NetSimParams struct {
 	// progress violation aborts the run with a state snapshot. The checker
 	// is observational, so results are identical with it on or off.
 	Check bool
+	// Ctx is the sweep-level context. When it is cancelled, sweep drivers
+	// stop claiming new points promptly, let in-flight points run to
+	// completion (journaling them if Journal is set), and return an error
+	// satisfying errors.Is(err, Ctx.Err()). Nil means the sweep is never
+	// cancelled. Cancellation never perturbs the points that do complete.
+	Ctx context.Context
+	// Abort is the point-level context, threaded into the cycle loops of
+	// every simulation a driver runs: cancelling it stops in-flight points
+	// mid-run at cycle granularity (never mid-Step). An aborted point is
+	// not journaled, so a later resume recomputes it from scratch. Nil
+	// means in-flight points always run to completion — the graceful
+	// interrupt path cancels Ctx only.
+	Abort context.Context
+	// Journal, when non-nil, makes the sweep crash-safe: every completed
+	// point is appended (and fsynced) under a canonical key of its
+	// configuration and seed the moment it finishes, and points whose key
+	// the journal already holds are decoded instead of recomputed. A sweep
+	// resumed from a journal produces output bit-identical to an
+	// uninterrupted run, at any worker count and with Check on or off
+	// (neither enters the key: both are proven not to affect results).
+	Journal *ckpt.Journal
+}
+
+// sweepCtx returns the sweep-level context, defaulting to Background.
+func (p NetSimParams) sweepCtx() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // attachChecker wires the invariant checker onto net when p.Check is set.
@@ -375,6 +406,7 @@ func (s *Sprinter) EvaluateNetwork(p workload.Profile, scheme Scheme, sp NetSimP
 		MeasureCycles: sp.Measure,
 		DrainCycles:   sp.Drain,
 		Seed:          sp.Seed,
+		Ctx:           sp.Abort,
 	})
 	if err != nil {
 		return NetworkEval{}, err
@@ -518,6 +550,7 @@ func (s *Sprinter) TrafficHeatMap(p workload.Profile, scheme Scheme, useFloorpla
 			MeasureCycles: sp.Measure,
 			DrainCycles:   sp.Drain,
 			Seed:          sp.Seed,
+			Ctx:           sp.Abort,
 		}); err != nil {
 			return nil, err
 		}

@@ -1,16 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"nocsprint/internal/cache"
+	"nocsprint/internal/ckpt"
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/noc"
 	"nocsprint/internal/power"
 	"nocsprint/internal/routing"
-	"nocsprint/internal/runner"
 	"nocsprint/internal/sprint"
 	"nocsprint/internal/stats"
 	"nocsprint/internal/thermal"
@@ -217,8 +218,10 @@ type NetResult struct {
 // total network power for PARSEC under full- versus NoC-sprinting, using
 // the cycle-accurate simulator and the DSENT-like power model. Benchmarks
 // run in parallel per sp.Workers; each carries a fixed per-benchmark seed,
-// so results are identical at any worker count.
+// so results are identical at any worker count. sp.Ctx cancels the sweep
+// and sp.Journal checkpoints it, per NetSimParams.
 func Fig9Fig10Network(s *Sprinter, sp NetSimParams) (NetResult, error) {
+	sp = sp.withDefaults() // canonicalise before key derivation
 	type task struct {
 		idx     int
 		profile workload.Profile
@@ -227,7 +230,19 @@ func Fig9Fig10Network(s *Sprinter, sp NetSimParams) (NetResult, error) {
 	for i, p := range workload.Profiles() {
 		tasks = append(tasks, task{idx: i, profile: p})
 	}
-	rows, err := runner.Map(tasks, sp.Workers, func(tk task) (NetRow, error) {
+	keys := make([]string, len(tasks))
+	for i, tk := range tasks {
+		var err error
+		keys[i], err = pointKey("fig9fig10", s.cfg, struct {
+			Benchmark string
+			Index     int
+		}{tk.profile.Name, tk.idx}, sp)
+		if err != nil {
+			return NetResult{}, err
+		}
+	}
+	rows, err := ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (NetRow, error) {
+		tk := tasks[i]
 		sim := sp
 		sim.Seed = int64(1000 + tk.idx)
 		full, err := s.EvaluateNetwork(tk.profile, FullSprinting, sim)
@@ -310,7 +325,8 @@ func (p Fig11Params) withDefaults() Fig11Params {
 // for 4-core and 8-core sprinting versus randomly-mapped full-sprinting.
 // Every (level, rate) point is an independent simulation with its own seed;
 // points run in parallel per params.Sim.Workers and the output is identical
-// to a serial run at any worker count.
+// to a serial run at any worker count. The sweep honours params.Sim.Ctx for
+// cancellation and params.Sim.Journal for crash-safe resume.
 func Fig11Sweep(s *Sprinter, levels []int, params Fig11Params) ([]Fig11Series, error) {
 	params = params.withDefaults()
 	if len(levels) == 0 {
@@ -326,9 +342,24 @@ func Fig11Sweep(s *Sprinter, levels []int, params Fig11Params) ([]Fig11Series, e
 			tasks = append(tasks, task{level: level, ri: ri, rate: rate})
 		}
 	}
-	points, err := runner.Map(tasks, params.Sim.Workers, func(tk task) (Fig11Point, error) {
-		return fig11Point(s, tk.level, tk.ri, tk.rate, params)
-	})
+	keys := make([]string, len(tasks))
+	for i, tk := range tasks {
+		var err error
+		keys[i], err = pointKey("fig11", s.cfg, struct {
+			Level   int
+			RateIdx int
+			Rate    float64
+			Samples int
+		}{tk.level, tk.ri, tk.rate, params.Samples}, params.Sim)
+		if err != nil {
+			return nil, err
+		}
+	}
+	points, err := ckpt.Run(params.Sim.sweepCtx(), params.Sim.Journal, keys, params.Sim.Workers,
+		func(_ context.Context, i int) (Fig11Point, error) {
+			tk := tasks[i]
+			return fig11Point(s, tk.level, tk.ri, tk.rate, params)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -380,6 +411,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 		MeasureCycles: params.Sim.Measure,
 		DrainCycles:   params.Sim.Drain,
 		Seed:          params.Sim.Seed + int64(ri),
+		Ctx:           params.Sim.Abort,
 	})
 	if err != nil {
 		return Fig11Point{}, err
@@ -411,6 +443,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 			MeasureCycles: params.Sim.Measure,
 			DrainCycles:   params.Sim.Drain,
 			Seed:          seed,
+			Ctx:           params.Sim.Abort,
 		})
 		if err != nil {
 			return Fig11Point{}, err
@@ -558,6 +591,11 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 	var out GatingResult
 	var savR, savN, pen []float64
 	for i, p := range workload.Profiles() {
+		// The comparison runs serially; honour sweep-level cancellation
+		// between benchmarks so an interrupted run returns promptly.
+		if err := sp.sweepCtx().Err(); err != nil {
+			return GatingResult{}, fmt.Errorf("core: gating comparison cancelled before %s: %w", p.Name, err)
+		}
 		level := s.Level(p, NoCSprinting)
 		if level < 2 {
 			continue // no traffic to route
@@ -567,6 +605,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 		// Scheme 1: full-sprinting, no network power management.
 		none, err := s.EvaluateNetwork(p, FullSprinting, NetSimParams{
 			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed, Check: sp.Check,
+			Abort: sp.Abort,
 		})
 		if err != nil {
 			return GatingResult{}, err
@@ -588,6 +627,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 			MeasureCycles: sp.Measure,
 			DrainCycles:   sp.Drain,
 			Seed:          seed,
+			Ctx:           sp.Abort,
 		})
 		if err != nil {
 			return GatingResult{}, err
@@ -605,6 +645,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 		// Scheme 3: NoC-sprinting.
 		nocs, err := s.EvaluateNetwork(p, NoCSprinting, NetSimParams{
 			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed, Check: sp.Check,
+			Abort: sp.Abort,
 		})
 		if err != nil {
 			return GatingResult{}, err
@@ -764,6 +805,7 @@ func FloorplanWireStudy(s *Sprinter, sp NetSimParams) ([]WireCase, error) {
 			MeasureCycles: sp.Measure,
 			DrainCycles:   sp.Drain,
 			Seed:          sp.Seed + 31,
+			Ctx:           sp.Abort,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -817,7 +859,8 @@ type ScaleRow struct {
 // trend the paper motivates with Figure 3): as the chip grows, the
 // un-gateable network's share grows, and so does NoC-sprinting's saving for
 // a fixed utilisation fraction (one quarter of the cores active).
-// Mesh sizes run in parallel per sp.Workers with per-size seeds.
+// Mesh sizes run in parallel per sp.Workers with per-size seeds; sp.Ctx
+// cancels the sweep and sp.Journal checkpoints it.
 func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 	if len(widths) == 0 {
 		widths = []int{4, 6, 8}
@@ -829,8 +872,19 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 	for wi, w := range widths {
 		tasks = append(tasks, task{wi: wi, w: w})
 	}
-	return runner.Map(tasks, sp.Workers, func(tk task) (ScaleRow, error) {
-		wi, w := tk.wi, tk.w
+	keys := make([]string, len(tasks))
+	for i, tk := range tasks {
+		var err error
+		keys[i], err = pointKey("scaling", nil, struct {
+			Width    int
+			WidthIdx int
+		}{tk.w, tk.wi}, sp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (ScaleRow, error) {
+		wi, w := tasks[i].wi, tasks[i].w
 		cfg := noc.DefaultConfig()
 		cfg.Width, cfg.Height = w, w
 		n := cfg.Nodes()
@@ -855,7 +909,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		res, err := noc.RunSynthetic(net, traffic.NewSet(region.ActiveNodes()),
 			traffic.NewUniform(level), noc.SimParams{
 				InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
-				DrainCycles: sp.Drain, Seed: int64(81 + wi),
+				DrainCycles: sp.Drain, Seed: int64(81 + wi), Ctx: sp.Abort,
 			})
 		if err != nil {
 			return ScaleRow{}, err
@@ -876,7 +930,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		sp.attachChecker(fnet, nil)
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
-			DrainCycles: sp.Drain, Seed: int64(101 + wi),
+			DrainCycles: sp.Drain, Seed: int64(101 + wi), Ctx: sp.Abort,
 		})
 		if err != nil {
 			return ScaleRow{}, err
@@ -913,7 +967,9 @@ type SensitivityRow struct {
 // VCs and deeper buffers buy throughput, not zero-load latency.
 // Configurations fan out across sp.Workers; each configuration walks its
 // rate ladder serially because the walk stops at the first saturated rate.
+// sp.Ctx cancels the sweep and sp.Journal checkpoints it.
 func SensitivitySweep(sp NetSimParams) ([]SensitivityRow, error) {
+	sp = sp.withDefaults()
 	type task struct{ vcs, depth int }
 	var tasks []task
 	for _, vcs := range []int{2, 4, 8} {
@@ -921,8 +977,19 @@ func SensitivitySweep(sp NetSimParams) ([]SensitivityRow, error) {
 			tasks = append(tasks, task{vcs: vcs, depth: depth})
 		}
 	}
-	return runner.Map(tasks, sp.Workers, func(tk task) (SensitivityRow, error) {
-		return SensitivityPoint(tk.vcs, tk.depth, sp)
+	keys := make([]string, len(tasks))
+	for i, tk := range tasks {
+		var err error
+		keys[i], err = pointKey("sensitivity", noc.DefaultConfig(), struct {
+			VCs   int
+			Depth int
+		}{tk.vcs, tk.depth}, sp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (SensitivityRow, error) {
+		return SensitivityPoint(tasks[i].vcs, tasks[i].depth, sp)
 	})
 }
 
@@ -946,7 +1013,7 @@ func SensitivityPoint(vcs, depth int, sp NetSimParams) (SensitivityRow, error) {
 		sp.attachChecker(net, nil)
 		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
-			DrainCycles: sp.Drain, Seed: int64(300 + ri),
+			DrainCycles: sp.Drain, Seed: int64(300 + ri), Ctx: sp.Abort,
 		})
 		if err != nil {
 			return SensitivityRow{}, err
@@ -985,8 +1052,11 @@ type DimDarkPoint struct {
 // Performance is modelled as (f/f_nominal) / T_norm(level): frequency
 // scales compute speed, the workload model supplies parallel efficiency.
 // Uncore power is charged at its nominal value in both cases. The
-// (budget, benchmark) cells fan out across workers (0 = all cores).
-func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string, workers int) ([]DimDarkPoint, error) {
+// (budget, benchmark) cells fan out across sp.Workers (0 = all cores);
+// sp.Ctx cancels the sweep and sp.Journal checkpoints it. The study is
+// analytic (no cycle simulation), so sp's simulation windows are unused
+// and excluded from the checkpoint keys.
+func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string, sp NetSimParams) ([]DimDarkPoint, error) {
 	if len(budgetsW) == 0 {
 		budgetsW = []float64{25, 30, 40, 60, 100}
 	}
@@ -1010,7 +1080,21 @@ func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string, workers int
 			tasks = append(tasks, task{budget: budget, name: name})
 		}
 	}
-	return runner.Map(tasks, workers, func(tk task) (DimDarkPoint, error) {
+	keys := make([]string, len(tasks))
+	for i, tk := range tasks {
+		var err error
+		keys[i], err = ckpt.Key(struct {
+			Driver    string
+			Config    Config
+			BudgetW   float64
+			Benchmark string
+		}{"dimvsdark", s.cfg, tk.budget, tk.name})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (DimDarkPoint, error) {
+		tk := tasks[i]
 		p, err := workload.ByName(tk.name)
 		if err != nil {
 			return DimDarkPoint{}, err

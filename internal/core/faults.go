@@ -1,15 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"nocsprint/internal/check"
+	"nocsprint/internal/ckpt"
 	"nocsprint/internal/fault"
 	"nocsprint/internal/noc"
 	"nocsprint/internal/power"
 	"nocsprint/internal/routing"
-	"nocsprint/internal/runner"
 	"nocsprint/internal/sprint"
 )
 
@@ -257,6 +258,14 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 	pktProb := p.InjectionRate / float64(s.cfg.NoC.PacketLength)
 
 	for net.Cycle() < p.Cycles {
+		// Point-level abort: polled every 256 cycles (cheap relative to a
+		// Step) and only between whole cycles, so an aborted run never
+		// leaves the network half-stepped.
+		if p.Sim.Abort != nil && net.Cycle()%256 == 0 {
+			if err := p.Sim.Abort.Err(); err != nil {
+				return pt, fmt.Errorf("core: fault run aborted at cycle %d: %w", net.Cycle(), err)
+			}
+		}
 		now := net.Cycle()
 		for _, ev := range cur.Due(now) {
 			var (
@@ -317,7 +326,7 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 	// backlog a saturated region could hold.
 	preDrain := int64(net.ActiveRouters())
 	drainStart := net.Cycle()
-	if err := net.DrainWithBudget(10 * int(p.Cycles)); err != nil {
+	if err := net.DrainWithBudgetCtx(p.Sim.Abort, 10*int(p.Cycles)); err != nil {
 		return pt, fmt.Errorf("core: fault run final drain: %w", err)
 	}
 	activeCycles += (net.Cycle() - drainStart) * preDrain
@@ -362,7 +371,8 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 
 // FaultSweep runs the fault-injection experiment across p.Rates. Each point
 // carries its own seed derived from p.Sim.Seed and its index, so results
-// are bit-identical at any worker count.
+// are bit-identical at any worker count. p.Sim.Ctx cancels the sweep and
+// p.Sim.Journal checkpoints it.
 func FaultSweep(s *Sprinter, p FaultParams) ([]FaultPoint, error) {
 	p = p.withDefaults()
 	type task struct {
@@ -373,7 +383,32 @@ func FaultSweep(s *Sprinter, p FaultParams) ([]FaultPoint, error) {
 	for i, r := range p.Rates {
 		tasks[i] = task{idx: i, rate: r}
 	}
-	return runner.Map(tasks, p.Sim.Workers, func(tk task) (FaultPoint, error) {
+	keys := make([]string, len(tasks))
+	for i, tk := range tasks {
+		var err error
+		// The fault driver manages its own horizon, so the key carries the
+		// FaultParams knobs rather than the unused NetSimParams windows.
+		keys[i], err = ckpt.Key(struct {
+			Driver            string
+			Config            Config
+			Level             int
+			RateIdx           int
+			Rate              float64
+			Cycles            int64
+			DrainBudget       int
+			TransientDuration int64
+			InjectionRate     float64
+			TripTempK         float64
+			ThermalSeconds    float64
+			Seed              int64
+		}{"faults", s.cfg, p.Level, tk.idx, tk.rate, p.Cycles, p.DrainBudget,
+			p.TransientDuration, p.InjectionRate, p.TripTempK, p.ThermalSeconds, p.Sim.Seed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ckpt.Run(p.Sim.sweepCtx(), p.Sim.Journal, keys, p.Sim.Workers, func(_ context.Context, i int) (FaultPoint, error) {
+		tk := tasks[i]
 		seed := p.Sim.Seed + int64(tk.idx)*1009 + 1
 		sched, err := s.buildFaultSchedule(tk.rate, p, seed)
 		if err != nil {

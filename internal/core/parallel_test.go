@@ -67,11 +67,11 @@ func TestSweepsDeterministicAcrossWorkers(t *testing.T) {
 		t.Error("ScalingStudy differs across worker counts")
 	}
 
-	d1, err := DimVsDark(s, nil, nil, 1)
+	d1, err := DimVsDark(s, nil, nil, NetSimParams{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	d4, err := DimVsDark(s, nil, nil, 4)
+	d4, err := DimVsDark(s, nil, nil, NetSimParams{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

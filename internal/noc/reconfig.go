@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 
 	"nocsprint/internal/routing"
@@ -37,6 +38,14 @@ type ReconfigReport struct {
 // keep packets held back by the quiesce. The drained condition is checked
 // after each step, so a drain taking exactly maxCycles passes.
 func (n *Network) DrainWithBudget(maxCycles int) error {
+	return n.DrainWithBudgetCtx(nil, maxCycles)
+}
+
+// DrainWithBudgetCtx is DrainWithBudget under a context: ctx is polled
+// between whole steps, so a cancelled drain stops at cycle granularity
+// without half-stepping the network, returning an error that satisfies
+// errors.Is(err, ctx.Err()). A nil ctx never cancels.
+func (n *Network) DrainWithBudgetCtx(ctx context.Context, maxCycles int) error {
 	drained := func() bool {
 		if n.quiesced {
 			return n.fabricEmpty()
@@ -47,6 +56,12 @@ func (n *Network) DrainWithBudget(maxCycles int) error {
 		return nil
 	}
 	for i := 0; i < maxCycles; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("noc: drain cancelled at cycle %d (%d packets in flight): %w",
+					n.Cycle(), n.InFlight(), err)
+			}
+		}
 		n.Step()
 		if drained() {
 			return nil

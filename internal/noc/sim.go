@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -22,6 +23,22 @@ type SimParams struct {
 	// Seed drives packet generation (and nothing else), making runs
 	// reproducible.
 	Seed int64
+	// Ctx, when non-nil, cancels the run: the cycle loops poll it between
+	// whole steps, so cancellation is observed at cycle granularity and
+	// never splits a Step — the network is left consistent (if
+	// unfinished). A cancelled run returns an error satisfying
+	// errors.Is(err, Ctx.Err()) and a zero Result. The poll never perturbs
+	// simulation state, so results are bit-identical with or without a
+	// context attached.
+	Ctx context.Context
+}
+
+// cancelled reports the context's error, tolerating a nil context.
+func cancelled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // DefaultSimParams returns a configuration suitable for latency-throughput
@@ -95,11 +112,18 @@ func RunSynthetic(net *Network, set *traffic.Set, pattern traffic.Pattern, p Sim
 	}
 
 	for i := 0; i < p.WarmupCycles; i++ {
+		if err := cancelled(p.Ctx); err != nil {
+			return Result{}, fmt.Errorf("noc: run cancelled during warmup at cycle %d: %w", net.Cycle(), err)
+		}
 		tick()
 	}
 	pre := net.Stats()
 	net.SetMeasuring(true)
 	for i := 0; i < p.MeasureCycles; i++ {
+		if err := cancelled(p.Ctx); err != nil {
+			net.SetMeasuring(false)
+			return Result{}, fmt.Errorf("noc: run cancelled during measurement at cycle %d: %w", net.Cycle(), err)
+		}
 		tick()
 	}
 	net.SetMeasuring(false)
@@ -116,6 +140,9 @@ func RunSynthetic(net *Network, set *traffic.Set, pattern traffic.Pattern, p Sim
 	}
 	drained := allEjected()
 	for i := 0; !drained && i < p.DrainCycles; i++ {
+		if err := cancelled(p.Ctx); err != nil {
+			return Result{}, fmt.Errorf("noc: run cancelled during drain at cycle %d: %w", net.Cycle(), err)
+		}
 		tick()
 		drained = allEjected()
 	}

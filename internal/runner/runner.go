@@ -7,6 +7,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,71 +25,129 @@ func Workers(n int) int {
 	return n
 }
 
-// Map applies fn to every point and returns the results in input order:
-// out[i] = fn(points[i]). Work is fanned across Workers(workers)
-// goroutines; workers == 1 runs serially on the calling goroutine with no
-// goroutine or channel overhead.
+// MapCtx applies fn to every point and returns the results in input order
+// (out[i] = fn(ctx, points[i])) together with a per-index completion mask.
+// Work is fanned across Workers(workers) goroutines; workers == 1 runs
+// serially on the calling goroutine with no goroutine or channel overhead.
 //
 // fn must be safe to call concurrently from multiple goroutines when
 // workers != 1; in the experiment layer that means each point constructs
 // its own network, traffic set, and RNG, and only reads shared
 // configuration.
 //
-// If any point fails, Map returns the error of the lowest-indexed failing
-// point (wrapped with its index) and nil results. Points are claimed in
-// index order and in-flight points run to completion after a failure, so
-// the reported error is deterministic; remaining unclaimed points are
-// skipped.
-func Map[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, error) {
+// Cancellation: workers check ctx after claiming an index and before
+// running it, so cancelling ctx stops new points from starting promptly
+// while points already in flight run to completion (an interrupted sweep
+// keeps every finished result — see internal/ckpt). The returned error then
+// satisfies errors.Is(err, ctx.Err()).
+//
+// Failure: the first error stops further points from being claimed, but —
+// as with cancellation — points already running finish, and every error
+// observed is reported, joined in index order (lowest-indexed first, so the
+// combined error is deterministic for a deterministic fn), each wrapped
+// with its point index. out and done still describe the points that did
+// complete: partial progress is returned, never discarded.
+func MapCtx[P, R any](ctx context.Context, points []P, workers int, fn func(context.Context, P) (R, error)) ([]R, []bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]R, len(points))
+	done := make([]bool, len(points))
 	if len(points) == 0 {
-		return out, nil
+		return out, done, nil
 	}
 	w := Workers(workers)
 	if w > len(points) {
 		w = len(points)
 	}
+	errs := make([]error, len(points))
 	if w == 1 {
 		for i, p := range points {
-			r, err := fn(p)
+			if ctx.Err() != nil {
+				break
+			}
+			r, err := fn(ctx, p)
 			if err != nil {
-				return nil, fmt.Errorf("runner: point %d: %w", i, err)
+				errs[i] = err
+				break
 			}
 			out[i] = r
+			done[i] = true
 		}
-		return out, nil
+	} else {
+		var (
+			next   atomic.Int64 // next unclaimed point index
+			failed atomic.Bool  // stops claiming new points after an error
+			wg     sync.WaitGroup
+		)
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(points) {
+						return
+					}
+					// A claim is only a counter bump: re-check failure and
+					// cancellation before committing any work to the claimed
+					// point, so at most the points already in flight run on
+					// after a failure or cancel.
+					if failed.Load() || ctx.Err() != nil {
+						return
+					}
+					r, err := fn(ctx, points[i])
+					if err != nil {
+						errs[i] = err
+						failed.Store(true)
+						continue
+					}
+					out[i] = r
+					done[i] = true
+				}
+			}()
+		}
+		wg.Wait()
 	}
 
-	var (
-		next   atomic.Int64 // next unclaimed point index
-		failed atomic.Bool  // stops claiming new points after an error
-		wg     sync.WaitGroup
-	)
-	errs := make([]error, len(points))
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(points) || failed.Load() {
-					return
-				}
-				r, err := fn(points[i])
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					continue
-				}
-				out[i] = r
-			}
-		}()
-	}
-	wg.Wait()
+	var joined []error
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("runner: point %d: %w", i, err)
+			joined = append(joined, fmt.Errorf("runner: point %d: %w", i, err))
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		complete := true
+		for _, d := range done {
+			if !d {
+				complete = false
+				break
+			}
+		}
+		// A cancel that landed after the last point completed changes
+		// nothing and is not an error.
+		if !complete {
+			joined = append(joined, fmt.Errorf("runner: sweep cancelled: %w", err))
+		}
+	}
+	if len(joined) > 0 {
+		return out, done, errors.Join(joined...)
+	}
+	return out, done, nil
+}
+
+// Map applies fn to every point and returns the results in input order:
+// out[i] = fn(points[i]). It is MapCtx without cancellation; see MapCtx for
+// the concurrency contract. If any point fails, Map returns the joined
+// errors of every point that ran and failed (lowest-indexed first, each
+// wrapped with its index) and nil results; remaining unclaimed points are
+// skipped.
+func Map[P, R any](points []P, workers int, fn func(P) (R, error)) ([]R, error) {
+	out, _, err := MapCtx(context.Background(), points, workers, func(_ context.Context, p P) (R, error) {
+		return fn(p)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

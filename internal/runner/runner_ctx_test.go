@@ -1,0 +1,226 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCtxNilContext(t *testing.T) {
+	out, done, err := MapCtx(nil, []int{1, 2, 3}, 2, func(_ context.Context, p int) (int, error) {
+		return p * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Errorf("done[%d] = false after full run", i)
+		}
+		if out[i] != (i+1)*10 {
+			t.Errorf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+// TestMapCtxDeterministicAcrossWorkers mirrors the sweep-level determinism
+// tests at the pool level: MapCtx returns identical results and completion
+// masks at workers=1 and workers=8.
+func TestMapCtxDeterministicAcrossWorkers(t *testing.T) {
+	points := make([]int, 64)
+	for i := range points {
+		points[i] = i
+	}
+	run := func(workers int) ([]int, []bool) {
+		out, done, err := MapCtx(context.Background(), points, workers, func(_ context.Context, p int) (int, error) {
+			return p*p + 7, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, done
+	}
+	o1, d1 := run(1)
+	o8, d8 := run(8)
+	if !reflect.DeepEqual(o1, o8) || !reflect.DeepEqual(d1, d8) {
+		t.Errorf("MapCtx differs between workers=1 and workers=8:\nout %v vs %v\ndone %v vs %v", o1, o8, d1, d8)
+	}
+}
+
+func TestMapCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, done, err := MapCtx(ctx, make([]int, 20), workers, func(context.Context, int) (int, error) {
+			ran.Add(1)
+			return 0, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d points ran under a pre-cancelled context", workers, ran.Load())
+		}
+		for i, d := range done {
+			if d {
+				t.Errorf("workers=%d: done[%d] = true", workers, i)
+			}
+		}
+	}
+}
+
+// TestMapCtxCancelStopsClaimingInFlightFinish pins the graceful-interrupt
+// contract: after cancellation no new points are claimed, but the points
+// already in flight run to completion and their results are kept.
+func TestMapCtxCancelStopsClaimingInFlightFinish(t *testing.T) {
+	const workers = 4
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var inflight atomic.Int64
+	go func() {
+		for inflight.Load() < workers {
+			runtime.Gosched()
+		}
+		cancel()
+	}()
+	out, done, err := MapCtx(ctx, points, workers, func(ctx context.Context, p int) (int, error) {
+		inflight.Add(1)
+		<-ctx.Done() // block until the sweep is cancelled, then finish
+		return p * 2, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	completed := 0
+	for i, d := range done {
+		if !d {
+			continue
+		}
+		completed++
+		if out[i] != points[i]*2 {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], points[i]*2)
+		}
+	}
+	// Exactly the in-flight points finished: each worker had claimed one
+	// point when the cancel landed, and no worker claims another afterwards.
+	if completed != workers {
+		t.Errorf("%d points completed after cancel, want exactly %d in-flight", completed, workers)
+	}
+}
+
+func TestMapCtxSerialCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	points := make([]int, 20)
+	for i := range points {
+		points[i] = i
+	}
+	out, done, err := MapCtx(ctx, points, 1, func(_ context.Context, p int) (int, error) {
+		if p == 5 {
+			cancel()
+		}
+		return p + 100, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i := range points {
+		want := i <= 5
+		if done[i] != want {
+			t.Errorf("done[%d] = %v, want %v", i, done[i], want)
+		}
+		if want && out[i] != i+100 {
+			t.Errorf("out[%d] = %d", i, out[i])
+		}
+	}
+}
+
+func TestMapCtxCancelAfterLastPointIsNoError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out, done, err := MapCtx(ctx, []int{1, 2, 3}, 1, func(_ context.Context, p int) (int, error) {
+		if p == 3 {
+			cancel() // lands after the final point's work is done
+		}
+		return p, nil
+	})
+	if err != nil {
+		t.Fatalf("cancel after completion reported error: %v", err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Errorf("done[%d] = false", i)
+		}
+	}
+	if out[2] != 3 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+// TestMapCtxReportsAllConcurrentErrors pins the all-errors contract: every
+// point that ran and failed is reported, joined in index order, not just the
+// first. A barrier forces all four points to be in flight simultaneously so
+// none of the failures can suppress the others by stopping claims.
+func TestMapCtxReportsAllConcurrentErrors(t *testing.T) {
+	const n = 4
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	_, done, err := MapCtx(context.Background(), make([]int, n), n, func(_ context.Context, _ int) (int, error) {
+		barrier.Done()
+		barrier.Wait() // every point is claimed before any fails
+		return 0, errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	msg := err.Error()
+	for i := 0; i < n; i++ {
+		if !strings.Contains(msg, fmt.Sprintf("point %d", i)) {
+			t.Errorf("error %q is missing point %d", msg, i)
+		}
+	}
+	// Index order: "point 0" before "point 3".
+	if strings.Index(msg, "point 0") > strings.Index(msg, "point 3") {
+		t.Errorf("errors not joined in index order: %q", msg)
+	}
+	for i, d := range done {
+		if d {
+			t.Errorf("done[%d] = true for a failed point", i)
+		}
+	}
+}
+
+// TestMapCtxPartialResultsSurviveFailure checks that out/done describe the
+// completed points even when the sweep as a whole fails — the property
+// ckpt.Run relies on to journal finished work before reporting the error.
+func TestMapCtxPartialResultsSurviveFailure(t *testing.T) {
+	points := []int{0, 1, 2, 3, 4}
+	out, done, err := MapCtx(context.Background(), points, 1, func(_ context.Context, p int) (int, error) {
+		if p == 3 {
+			return 0, errors.New("boom at 3")
+		}
+		return p * p, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	for i := 0; i < 3; i++ {
+		if !done[i] || out[i] != i*i {
+			t.Errorf("point %d: done=%v out=%d, want completed %d", i, done[i], out[i], i*i)
+		}
+	}
+	if done[3] || done[4] {
+		t.Errorf("points 3/4 marked done: %v", done)
+	}
+}
