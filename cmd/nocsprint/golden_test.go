@@ -131,3 +131,32 @@ func TestGoldenSensitivityPoint(t *testing.T) {
 		t.Fatalf("invariant checker perturbed the sensitivity point:\nwithout: %+v\nwith:    %+v", plain, checked)
 	}
 }
+
+// TestGoldenFig11ReferenceStepper replays the fig11 -fast sweep on the
+// reference full-scan stepper and compares it against the same golden file
+// the optimized sweep is pinned to: the committed goldens prove the two
+// pipelines are byte-identical end to end, through the CLI's own JSON
+// encoding.
+func TestGoldenFig11ReferenceStepper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is too slow for -short")
+	}
+	if *update {
+		t.Skip("goldens are written by the optimized sweep; nothing to update here")
+	}
+	s, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := goldenSim(true)
+	sim.Reference = true
+	series, err := core.Fig11Sweep(s, []int{4, 8}, core.Fig11Params{
+		Rates:   []float64{0.05, 0.15, 0.25, 0.35},
+		Samples: 3,
+		Sim:     sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "fig11_fast.json", series)
+}

@@ -42,6 +42,7 @@ type options struct {
 	fast       bool
 	json       bool
 	check      bool
+	refstep    bool
 	workers    int
 	timeout    time.Duration
 	checkpoint string
@@ -69,6 +70,7 @@ func parseArgs(args []string, output io.Writer) (options, string, error) {
 	fs.BoolVar(&o.fast, "fast", false, "shrink simulation windows for quick smoke runs")
 	fs.BoolVar(&o.json, "json", false, "emit machine-readable JSON instead of tables")
 	fs.BoolVar(&o.check, "check", false, "enable runtime invariant checking on every simulation")
+	fs.BoolVar(&o.refstep, "refstep", false, "run simulations on the reference full-scan stepper (results identical, slower)")
 	fs.IntVar(&o.workers, "workers", 0, "parallel sweep workers: 0 = all cores, 1 = serial")
 	fs.DurationVar(&o.timeout, "timeout", 0, "cancel the run gracefully after this duration (0 = none)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "directory for the crash-safe sweep journal")
@@ -231,6 +233,9 @@ flags:
                flit conservation, credit bounds, dark-router silence, CDOR
                hop rules, and a deadlock watchdog (results are unchanged;
                violations abort with a network-state snapshot)
+  -refstep     run every simulation on the reference full-scan stepper
+               instead of the active-work scheduler (results are proven
+               bit-identical; this exists for auditing and benchmarking)
   -workers N   parallel sweep workers: 0 = all cores (default), 1 = serial
   -timeout D   cancel the run gracefully after duration D (e.g. 90s, 10m);
                in-flight sweep points finish and are journaled
@@ -315,7 +320,7 @@ func run(name string, o options) error {
 	case "dimdark":
 		return dimDarkCmd(s, sim)
 	case "llc":
-		return llcCmd(s, o.check)
+		return llcCmd(s, o)
 	case "faults":
 		return faultsCmd(s, faultParams(o))
 	case "all":
@@ -349,7 +354,7 @@ func run(name string, o options) error {
 // cancellation contexts and checkpoint journal ride along.
 func simParams(o options) (core.NetSimParams, core.Fig11Params) {
 	sim := core.NetSimParams{
-		Workers: o.workers, Check: o.check,
+		Workers: o.workers, Check: o.check, Reference: o.refstep,
 		Ctx: o.ctx, Abort: o.abort, Journal: o.journal,
 	}
 	if o.fast {
@@ -788,7 +793,7 @@ func runJSON(name string, o options) error {
 	case "dimdark":
 		result, err = core.DimVsDark(s, nil, nil, sim)
 	case "llc":
-		result, err = core.LLCStudy(s, core.LLCParams{Check: o.check})
+		result, err = core.LLCStudy(s, llcParams(o))
 	case "faults":
 		result, err = core.FaultSweep(s, faultParams(o))
 	default:
@@ -834,7 +839,7 @@ func dimDarkCmd(s *core.Sprinter, sim core.NetSimParams) error {
 // through every repair, -workers fans the rate points across cores.
 func faultParams(o options) core.FaultParams {
 	p := core.FaultParams{Sim: core.NetSimParams{
-		Workers: o.workers, Check: o.check,
+		Workers: o.workers, Check: o.check, Reference: o.refstep,
 		Ctx: o.ctx, Abort: o.abort, Journal: o.journal,
 	}}
 	if o.fast {
@@ -869,9 +874,16 @@ func faultsCmd(s *core.Sprinter, p core.FaultParams) error {
 	return nil
 }
 
-func llcCmd(s *core.Sprinter, check bool) error {
+// llcParams maps the CLI options onto the LLC study. The point-level abort
+// context (second interrupt) is threaded into the cache-system cycle loop,
+// so the study no longer rides out millions of cycles after an abort.
+func llcParams(o options) core.LLCParams {
+	return core.LLCParams{Check: o.check, Reference: o.refstep, Ctx: o.abort}
+}
+
+func llcCmd(s *core.Sprinter, o options) error {
 	header("Extension: Section 3.4 — shared LLC under network power gating")
-	rows, err := core.LLCStudy(s, core.LLCParams{Check: check})
+	rows, err := core.LLCStudy(s, llcParams(o))
 	if err != nil {
 		return err
 	}

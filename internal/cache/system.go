@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 
 	"nocsprint/internal/mesh"
@@ -346,10 +347,24 @@ func boolBit(b bool) int64 {
 // operations (blocking on misses), for at most maxCycles. It returns an
 // error if work remains unfinished at the horizon.
 func (s *System) Run(accessesPerCore int64, maxCycles int64) error {
+	return s.RunCtx(nil, accessesPerCore, maxCycles)
+}
+
+// RunCtx is Run under a context, polled every 256 cycles like the other
+// long cycle loops (noc.RunCtx, DrainWithBudgetCtx), so a cancelled LLC
+// study stops at cycle granularity with the network left consistent. A nil
+// ctx never cancels, and the poll never perturbs simulation state. The
+// returned error satisfies errors.Is(err, ctx.Err()) on cancellation.
+func (s *System) RunCtx(ctx context.Context, accessesPerCore int64, maxCycles int64) error {
 	for _, node := range s.coreOrder {
 		s.cores[node].remaining = accessesPerCore
 	}
 	for cycle := int64(0); cycle < maxCycles; cycle++ {
+		if ctx != nil && cycle%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cache: run cancelled at cycle %d: %w", s.net.Cycle(), err)
+			}
+		}
 		now := s.net.Cycle()
 		if evs, ok := s.events[now]; ok {
 			delete(s.events, now)

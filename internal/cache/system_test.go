@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"nocsprint/internal/mesh"
@@ -214,5 +216,35 @@ func TestPolicyString(t *testing.T) {
 	}
 	if HomePolicy(9).String() == "" {
 		t.Error("unknown policy name empty")
+	}
+}
+
+// TestRunCtxCancellation pins the cancellation contract of the closed-loop
+// driver: a pre-cancelled context stops RunCtx at its first 256-cycle poll
+// with a wrapped ctx error, a nil context never cancels, and an uncancelled
+// context leaves results identical to Run.
+func TestRunCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys := buildSystem(t, 4, HomeAllTiles, false)
+	err := sys.RunCtx(ctx, 1000, 2_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if c := sys.Cycles(); c != 0 {
+		t.Fatalf("pre-cancelled ctx stepped %d cycles, want 0", c)
+	}
+
+	plain := buildSystem(t, 4, HomeAllTiles, false)
+	if err := plain.Run(500, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	under := buildSystem(t, 4, HomeAllTiles, false)
+	if err := under.RunCtx(context.Background(), 500, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats() != under.Stats() || plain.Cycles() != under.Cycles() {
+		t.Errorf("context poll perturbed the run:\nRun:    %+v (%d cycles)\nRunCtx: %+v (%d cycles)",
+			plain.Stats(), plain.Cycles(), under.Stats(), under.Cycles())
 	}
 }

@@ -15,10 +15,11 @@ import (
 // base seed, and the point's own coordinates. Everything that determines
 // the point's result must be in here — a stale journal then can never
 // satisfy a changed sweep, because changed parameters change every key.
-// Workers and Check are deliberately excluded: worker count and the
-// observational invariant checker are both proven (by the determinism and
-// zero-drift tests) not to affect results, so a checkpoint taken at one
-// setting resumes under any other.
+// Workers, Check, and Reference are deliberately excluded: worker count,
+// the observational invariant checker, and the reference-stepper switch are
+// all proven (by the determinism and zero-drift equivalence tests) not to
+// affect results, so a checkpoint taken at one setting resumes under any
+// other.
 func pointKey(driver string, cfg, point any, sim NetSimParams) (string, error) {
 	return ckpt.Key(struct {
 		Driver                 string

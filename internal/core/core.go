@@ -304,6 +304,13 @@ type NetSimParams struct {
 	// uninterrupted run, at any worker count and with Check on or off
 	// (neither enters the key: both are proven not to affect results).
 	Journal *ckpt.Journal
+	// Reference switches every network the drivers build to the
+	// pre-optimization full-scan stepper (noc.UseReferenceStepper).
+	// Observational like Check — the zero-drift equivalence suite proves
+	// results are bit-identical either way — so it is likewise excluded
+	// from checkpoint keys; it exists so sweeps can be replayed on the
+	// reference pipeline when auditing the optimized stepper.
+	Reference bool
 }
 
 // sweepCtx returns the sweep-level context, defaulting to Background.
@@ -314,15 +321,17 @@ func (p NetSimParams) sweepCtx() context.Context {
 	return context.Background()
 }
 
-// attachChecker wires the invariant checker onto net when p.Check is set.
-// region carries the CDOR hop rules of the sprint region the network routes
-// over; a nil region enforces plain X-then-Y dimension order instead (all
-// the full-mesh baselines route DOR).
-func (p NetSimParams) attachChecker(net *noc.Network, region *sprint.Region) {
-	if !p.Check {
-		return
+// instrument applies the observational switches to a freshly built network:
+// the invariant checker when p.Check is set, and the reference full-scan
+// stepper when p.Reference is set. region carries the CDOR hop rules of the
+// sprint region the network routes over; a nil region enforces plain
+// X-then-Y dimension order instead (all the full-mesh baselines route DOR).
+// Neither switch affects simulation results.
+func (p NetSimParams) instrument(net *noc.Network, region *sprint.Region) {
+	if p.Check {
+		net.SetChecker(check.New(check.Config{Region: region, DOR: region == nil}))
 	}
-	net.SetChecker(check.New(check.Config{Region: region, DOR: region == nil}))
+	net.UseReferenceStepper(p.Reference)
 }
 
 func (p NetSimParams) withDefaults() NetSimParams {
@@ -395,9 +404,9 @@ func (s *Sprinter) EvaluateNetwork(p workload.Profile, scheme Scheme, sp NetSimP
 		return NetworkEval{}, err
 	}
 	if scheme == FullSprinting {
-		sp.attachChecker(net, nil)
+		sp.instrument(net, nil)
 	} else {
-		sp.attachChecker(net, region)
+		sp.instrument(net, region)
 	}
 	pattern := traffic.NewUniform(set.Size())
 	res, err := noc.RunSynthetic(net, set, pattern, noc.SimParams{
@@ -539,9 +548,9 @@ func (s *Sprinter) TrafficHeatMap(p workload.Profile, scheme Scheme, useFloorpla
 			return nil, err
 		}
 		if scheme == FullSprinting {
-			sp.attachChecker(net, nil)
+			sp.instrument(net, nil)
 		} else {
-			sp.attachChecker(net, region)
+			sp.instrument(net, region)
 		}
 		set := traffic.NewSet(region.ActiveNodes())
 		if _, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{

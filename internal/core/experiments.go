@@ -403,7 +403,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 	if err != nil {
 		return Fig11Point{}, err
 	}
-	params.Sim.attachChecker(net, region)
+	params.Sim.instrument(net, region)
 	set := traffic.NewSet(region.ActiveNodes())
 	res, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{
 		InjectionRate: rate,
@@ -436,7 +436,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 		if err != nil {
 			return Fig11Point{}, err
 		}
-		params.Sim.attachChecker(fnet, nil)
+		params.Sim.instrument(fnet, nil)
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate,
 			WarmupCycles:  params.Sim.Warmup,
@@ -619,7 +619,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 		if err := net.EnableRuntimeGating(gcfg); err != nil {
 			return GatingResult{}, err
 		}
-		sp.attachChecker(net, nil)
+		sp.instrument(net, nil)
 		set := traffic.NewSet(allNodes(s.mesh.Nodes()))
 		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
 			InjectionRate: p.InjRate,
@@ -774,7 +774,7 @@ func FloorplanWireStudy(s *Sprinter, sp NetSimParams) ([]WireCase, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		sp.attachChecker(net, region)
+		sp.instrument(net, region)
 		maxLink := s.cfg.NoC.LinkLatency
 		if planned && !smart {
 			// Plain wires: latency grows with the physical Euclidean
@@ -905,7 +905,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		if err != nil {
 			return ScaleRow{}, err
 		}
-		sp.attachChecker(net, region)
+		sp.instrument(net, region)
 		res, err := noc.RunSynthetic(net, traffic.NewSet(region.ActiveNodes()),
 			traffic.NewUniform(level), noc.SimParams{
 				InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
@@ -927,7 +927,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		if err != nil {
 			return ScaleRow{}, err
 		}
-		sp.attachChecker(fnet, nil)
+		sp.instrument(fnet, nil)
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
 			DrainCycles: sp.Drain, Seed: int64(101 + wi), Ctx: sp.Abort,
@@ -1010,7 +1010,7 @@ func SensitivityPoint(vcs, depth int, sp NetSimParams) (SensitivityRow, error) {
 		if err != nil {
 			return SensitivityRow{}, err
 		}
-		sp.attachChecker(net, nil)
+		sp.instrument(net, nil)
 		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
 			DrainCycles: sp.Drain, Seed: int64(300 + ri), Ctx: sp.Abort,
@@ -1157,6 +1157,15 @@ type LLCParams struct {
 	// Check attaches the runtime invariant checker to the study's networks
 	// (see NetSimParams.Check).
 	Check bool
+	// Reference runs the study's networks on the reference full-scan
+	// stepper (see NetSimParams.Reference). Observational.
+	Reference bool
+	// Ctx, when non-nil, cancels the study: the cache-system cycle loops
+	// poll it (256-cycle granularity, like every other long cycle loop),
+	// so an interrupted CLI run stops the LLC study promptly instead of
+	// riding out millions of cycles. Nil never cancels; results are
+	// identical with or without a context attached.
+	Ctx context.Context
 }
 
 func (p LLCParams) withDefaults() LLCParams {
@@ -1211,12 +1220,11 @@ func LLCStudy(s *Sprinter, p LLCParams) ([]LLCRow, error) {
 		if err != nil {
 			return LLCRow{}, err
 		}
-		if p.Check {
-			if gated {
-				NetSimParams{Check: true}.attachChecker(net, region)
-			} else {
-				NetSimParams{Check: true}.attachChecker(net, nil)
-			}
+		sp := NetSimParams{Check: p.Check, Reference: p.Reference}
+		if gated {
+			sp.instrument(net, region)
+		} else {
+			sp.instrument(net, nil)
 		}
 		var streamErr error
 		mk := func(node int) *cache.Stream {
@@ -1241,7 +1249,7 @@ func LLCStudy(s *Sprinter, p LLCParams) ([]LLCRow, error) {
 		if streamErr != nil {
 			return LLCRow{}, streamErr
 		}
-		if err := sys.Run(p.AccessesPerCore, p.MaxCycles); err != nil {
+		if err := sys.RunCtx(p.Ctx, p.AccessesPerCore, p.MaxCycles); err != nil {
 			return LLCRow{}, fmt.Errorf("core: LLC study %s: %w", name, err)
 		}
 		st := sys.Stats()

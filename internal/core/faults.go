@@ -233,6 +233,7 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 		}})
 		net.SetChecker(chk)
 	}
+	net.UseReferenceStepper(p.Sim.Reference)
 
 	var activeCycles int64 // Σ over cycles of the active-router count
 	reconfigure := func(r *sprint.Region) error {

@@ -1,7 +1,9 @@
 package noc
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/routing"
@@ -124,12 +126,35 @@ type Network struct {
 	// sink, when set, receives every packet at tail ejection (closed-loop
 	// protocol models hook here).
 	sink func(*Packet)
-	// linkLatency overrides cfg.LinkLatency per directed link (keyed
-	// from*nodes+to); nil means uniform latency. Models the longer
-	// physical wires a thermal-aware floorplan creates (§3.3) — and, when
-	// left uniform, the SMART repeated wires that traverse them in one
+	// linkLat holds the latency of every directed link, indexed
+	// id*NumDirections+port and seeded uniformly from cfg.LinkLatency; a
+	// dense slice so the switch-traversal hot path pays one array read, not
+	// a map lookup. SetLinkLatency overrides individual links to model the
+	// longer physical wires a thermal-aware floorplan creates (§3.3) — and,
+	// when left uniform, the SMART repeated wires that traverse them in one
 	// cycle.
-	linkLatency map[int]int
+	linkLat []int
+	// Active-work scheduling: Step visits only routers that can have work
+	// this cycle, so a dark-dominated mesh costs O(active region), not
+	// O(mesh). work lists those router ids in ascending order (matching the
+	// full scan's iteration order, which keeps results and checker event
+	// streams bit-identical); inWork mirrors membership for O(1) tests.
+	// Every event append (flit, credit, ejection, source enqueue) marks its
+	// destination busy; routers whose state has fully drained are pruned at
+	// the end of each Step. sweepBuf is the per-cycle snapshot the stages
+	// iterate, so markBusy during a cycle never mutates a live range.
+	inWork   []bool
+	work     []int
+	sweepBuf []int
+	// allIDs enumerates every router; scanAll (the reference stepper, see
+	// UseReferenceStepper) makes the stages visit them all, reproducing the
+	// pre-optimization full-scan pipeline.
+	allIDs  []int
+	scanAll bool
+	// activeCount caches the powered-router population; maintained by New
+	// and Reconfigure instead of rescanning all routers on every
+	// ActiveRouters call (the fault driver polls it every cycle).
+	activeCount int
 	// usedInput is per-cycle scratch for the one-flit-per-input-port
 	// crossbar constraint, sized [routers][ports].
 	usedInput [][mesh.NumDirections]bool
@@ -183,19 +208,102 @@ func New(cfg Config, alg routing.Algorithm, activeNodes []int) (*Network, error)
 		nis:       make([]*ni, m.Nodes()),
 		usedInput: make([][mesh.NumDirections]bool, m.Nodes()),
 
+		linkLat:  make([]int, m.Nodes()*mesh.NumDirections),
+		inWork:   make([]bool, m.Nodes()),
+		work:     make([]int, 0, m.Nodes()),
+		sweepBuf: make([]int, 0, m.Nodes()),
+		allIDs:   make([]int, m.Nodes()),
+
 		classCreated: make([]int64, cfg.classes()),
 		classEjected: make([]int64, cfg.classes()),
 		classDropped: make([]int64, cfg.classes()),
 	}
+	for i := range n.linkLat {
+		n.linkLat[i] = cfg.LinkLatency
+	}
 	for id := 0; id < m.Nodes(); id++ {
+		n.allIDs[id] = id
 		n.routers[id] = newRouter(id, cfg, m, activeSet[id])
 		nic := &ni{active: activeSet[id], credits: make([]int, cfg.VCs)}
 		for v := range nic.credits {
 			nic.credits[v] = cfg.BufferDepth
 		}
 		n.nis[id] = nic
+		if activeSet[id] {
+			n.activeCount++
+		}
 	}
 	return n, nil
+}
+
+// UseReferenceStepper(true) switches Step to the pre-optimization reference
+// pipeline in which every stage scans every router, idle or not. The
+// active-work bookkeeping is still maintained, so the mode can be toggled at
+// any cycle boundary. Results are bit-identical in both modes — the
+// zero-drift equivalence suite enforces it — which makes the reference mode
+// the baseline the perf harness and drift tests compare against.
+func (n *Network) UseReferenceStepper(on bool) { n.scanAll = on }
+
+// markBusy adds router id to the active-work set, keeping the set sorted by
+// id so the optimized stepper visits routers in exactly the order the full
+// scan would. Idempotent and allocation-free in steady state (the list is
+// pre-sized to the mesh).
+func (n *Network) markBusy(id int) {
+	if n.inWork[id] {
+		return
+	}
+	n.inWork[id] = true
+	i := sort.SearchInts(n.work, id)
+	n.work = append(n.work, 0)
+	copy(n.work[i+1:], n.work[i:])
+	n.work[i] = id
+}
+
+// sweepIDs returns the router ids the pipeline stages visit this cycle: a
+// stable snapshot of the active-work set (markBusy during the cycle must
+// never mutate a slice the stages are ranging over), or every router under
+// the reference stepper.
+func (n *Network) sweepIDs() []int {
+	if n.scanAll {
+		return n.allIDs
+	}
+	n.sweepBuf = append(n.sweepBuf[:0], n.work...)
+	return n.sweepBuf
+}
+
+// routerIdle reports whether router id holds no work at all: no credits,
+// flits, or ejections in flight toward it, no input VC mid-packet, and a
+// fully idle NI. Such a router cannot act until some event append marks it
+// busy again, so it is safe to drop from the work set.
+func (n *Network) routerIdle(id int) bool {
+	if len(n.credbox[id]) != 0 || len(n.nicredbox[id]) != 0 || len(n.eject[id]) != 0 {
+		return false
+	}
+	for p := 0; p < mesh.NumDirections; p++ {
+		if len(n.inbox[id][p]) != 0 {
+			return false
+		}
+	}
+	nic := n.nis[id]
+	if nic.cur != nil || len(nic.queue) != 0 {
+		return false
+	}
+	return n.routers[id].busyVCs == 0
+}
+
+// prune drops fully drained routers from the active-work set at the end of
+// a Step. O(busy routers), in place, allocation-free.
+func (n *Network) prune() {
+	k := 0
+	for _, id := range n.work {
+		if n.routerIdle(id) {
+			n.inWork[id] = false
+			continue
+		}
+		n.work[k] = id
+		k++
+	}
+	n.work = n.work[:k]
 }
 
 // Config returns the network configuration.
@@ -225,15 +333,17 @@ func (n *Network) Stats() Stats {
 // RouterEvents returns the micro-event counters of router id.
 func (n *Network) RouterEvents(id int) Events { return n.routers[id].events }
 
-// ActiveRouters returns the number of powered routers.
-func (n *Network) ActiveRouters() int {
-	c := 0
-	for _, r := range n.routers {
-		if r.active {
-			c++
-		}
-	}
-	return c
+// ActiveRouters returns the number of powered routers. The count is
+// maintained incrementally by New and Reconfigure (tests assert it against
+// a full scan), so per-cycle polls cost O(1) instead of O(mesh).
+func (n *Network) ActiveRouters() int { return n.activeCount }
+
+// MeasuredCounts returns the created and ejected counters of measured
+// packets without aggregating per-router events — drain loops poll this
+// every cycle, where the O(routers) Events sum inside Stats would dominate
+// the cycle cost.
+func (n *Network) MeasuredCounts() (created, ejected int64) {
+	return n.stats.MeasuredCreated, n.stats.MeasuredEjected
 }
 
 // Enqueue creates a packet from src to dst in message class 0 and places
@@ -298,6 +408,7 @@ func (n *Network) TryEnqueuePacket(src, dst, class, length int) (*Packet, error)
 		n.stats.MeasuredCreated++
 	}
 	n.nis[src].queue = append(n.nis[src].queue, p)
+	n.markBusy(src)
 	return p, nil
 }
 
@@ -312,34 +423,52 @@ func (n *Network) Drained() bool { return n.InFlight() == 0 }
 
 // Step advances the network by one cycle. Stages run in reverse pipeline
 // order (credits, SA+ST, VA, RC, buffer write, injection) so each flit
-// advances at most one stage per cycle.
+// advances at most one stage per cycle. Each stage visits only the routers
+// in the active-work set (every router under the reference stepper); since
+// the reverse ordering guarantees no flit needs two stages in one cycle,
+// a router marked busy mid-cycle never needs processing before the next
+// cycle, and the set snapshot taken here stays valid for the whole Step.
 func (n *Network) Step() {
 	now := n.cycle
-	for i := range n.usedInput {
-		n.usedInput[i] = [mesh.NumDirections]bool{}
-	}
-	n.deliverCredits(now)
-	n.switchAllocation(now)
-	n.vcAllocation()
-	n.routeCompute()
-	n.deliverFlits(now)
-	n.inject(now)
+	ids := n.sweepIDs()
+	n.deliverCredits(now, ids)
+	n.switchAllocation(now, ids)
+	n.vcAllocation(ids)
+	n.routeCompute(ids)
+	n.deliverFlits(now, ids)
+	n.inject(now, ids)
 	n.updateGating(now)
 	if n.checker != nil {
 		n.checker.CycleEnd(n, now)
 	}
+	n.prune()
 	n.cycle++
 }
 
 // Run advances the network by cycles steps.
-func (n *Network) Run(cycles int) {
+func (n *Network) Run(cycles int) { _ = n.RunCtx(nil, cycles) }
+
+// RunCtx advances the network by cycles steps under a context, polled every
+// 256 cycles like the other long cycle loops (DrainWithBudgetCtx, the fault
+// driver), so cancellation is observed at cycle granularity and never
+// splits a Step. A nil ctx never cancels; the poll itself never perturbs
+// simulation state, so an uncancelled RunCtx is bit-identical to Run. The
+// returned error satisfies errors.Is(err, ctx.Err()) on cancellation.
+func (n *Network) RunCtx(ctx context.Context, cycles int) error {
 	for i := 0; i < cycles; i++ {
+		if ctx != nil && i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("noc: run cancelled at cycle %d (%d of %d steps done): %w",
+					n.cycle, i, cycles, err)
+			}
+		}
 		n.Step()
 	}
+	return nil
 }
 
-func (n *Network) deliverCredits(now int64) {
-	for id := range n.routers {
+func (n *Network) deliverCredits(now int64, ids []int) {
+	for _, id := range ids {
 		box := n.credbox[id]
 		k := 0
 		for _, ev := range box {
@@ -380,18 +509,54 @@ func (n *Network) deliverCredits(now int64) {
 
 // switchAllocation arbitrates the crossbar per output port and performs
 // switch+link traversal for the winners.
-func (n *Network) switchAllocation(now int64) {
+func (n *Network) switchAllocation(now int64, ids []int) {
 	nVC := n.cfg.VCs
 	reqSpace := mesh.NumDirections * nVC
-	for id, r := range n.routers {
+	for _, id := range ids {
+		r := n.routers[id]
 		if !r.active || !n.powered(id) {
 			continue
+		}
+		// With every input VC idle there is nothing to arbitrate: no grant
+		// is possible and no round-robin pointer can move, so skipping the
+		// O(ports x requesters) sweep is exact. The reference stepper pays
+		// the sweep anyway — its job is to reproduce the pre-optimization
+		// per-cycle work profile, and the busyVCs shortcut did not exist
+		// then.
+		if !n.scanAll && r.busyVCs == 0 {
+			continue
+		}
+		// usedInput is only read and written while arbitrating this router,
+		// so clearing it here (instead of a whole-mesh memset at the top of
+		// Step) keeps the per-cycle cost proportional to active work.
+		n.usedInput[id] = [mesh.NumDirections]bool{}
+		// Prescan: count grantable requesters per output port so the
+		// round-robin sweeps below can skip unrequested ports and stop once
+		// every counted requester has been visited. A VC's state and outPort
+		// cannot change before its own port is arbitrated (grants touch only
+		// the granting port's requesters, and VA/RC run after SA), so counts
+		// taken here stay valid for the whole router. The reference stepper
+		// keeps the pre-optimization full sweep via a sentinel count.
+		var pending [mesh.NumDirections]int
+		if n.scanAll {
+			for p := range pending {
+				pending[p] = reqSpace
+			}
+		} else {
+			for p := range r.in {
+				for v := range r.in[p] {
+					ivc := &r.in[p][v]
+					if ivc.state == vcActive && !ivc.empty() {
+						pending[ivc.outPort]++
+					}
+				}
+			}
 		}
 		for p := 0; p < mesh.NumDirections; p++ {
 			outPort := mesh.Direction(p)
 			// Round-robin over the flattened (inPort, inVC) requester space.
 			granted := false
-			for k := 0; k < reqSpace && !granted; k++ {
+			for k := 0; k < reqSpace && !granted && pending[p] > 0; k++ {
 				idx := (r.saPtr[p] + k) % reqSpace
 				inPort := idx / nVC
 				inVC := idx % nVC
@@ -402,6 +567,7 @@ func (n *Network) switchAllocation(now int64) {
 				if v.state != vcActive || v.empty() || v.outPort != outPort {
 					continue
 				}
+				pending[p]--
 				if !r.hasCredit(outPort, v.outVC) {
 					continue
 				}
@@ -417,6 +583,7 @@ func (n *Network) switchAllocation(now int64) {
 
 				if outPort == mesh.Local {
 					n.eject[id] = append(n.eject[id], arrival{f: f, t: now + 1})
+					n.markBusy(id)
 				} else {
 					r.out[outPort][v.outVC].credits--
 					r.events.LinkFlits++
@@ -428,18 +595,21 @@ func (n *Network) switchAllocation(now int64) {
 					// Switch traversal takes this cycle; link traversal
 					// adds the link's latency (the ST then LT stages).
 					n.inbox[dst][inDir] = append(n.inbox[dst][inDir],
-						arrival{f: f, t: now + 1 + int64(n.linkLatencyOf(id, dst))})
+						arrival{f: f, t: now + 1 + int64(n.linkLatencyOf(id, outPort))})
+					n.markBusy(dst)
 				}
 
 				// Return the freed buffer slot upstream as a credit.
 				if mesh.Direction(inPort) == mesh.Local {
 					n.nicredbox[id] = append(n.nicredbox[id],
 						creditEvt{port: mesh.Local, vc: inVC, t: now + 1})
+					n.markBusy(id)
 				} else {
 					up := r.downstream[inPort] // neighbour feeding this input
 					upPort := mesh.Direction(inPort).Opposite()
 					n.credbox[up] = append(n.credbox[up],
 						creditEvt{port: upPort, vc: inVC, t: now + 1})
+					n.markBusy(up)
 				}
 
 				if f.typ.IsTail() {
@@ -448,6 +618,7 @@ func (n *Network) switchAllocation(now int64) {
 					}
 					r.out[v.outPort][v.outVC].occupied = false
 					v.state = vcIdle
+					r.busyVCs--
 				}
 			}
 		}
@@ -457,16 +628,39 @@ func (n *Network) switchAllocation(now int64) {
 // vcAllocation grants free output VCs to input VCs whose route is computed.
 // An output VC is reallocated only when unoccupied with full credits, which
 // keeps each VC buffer single-packet (atomic VC allocation).
-func (n *Network) vcAllocation() {
+func (n *Network) vcAllocation(ids []int) {
 	nVC := n.cfg.VCs
 	reqSpace := mesh.NumDirections * nVC
-	for id, r := range n.routers {
+	for _, id := range ids {
+		r := n.routers[id]
 		if !r.active || !n.powered(id) {
 			continue
 		}
+		if !n.scanAll && r.busyVCs == 0 {
+			continue // no VC awaiting allocation (see switchAllocation)
+		}
+		// Same prescan-and-early-exit shape as switchAllocation: count the
+		// vcVA requesters per output port up front (new vcVA states only
+		// appear later, in routeCompute) and stop each port sweep once all
+		// of them have been visited.
+		var pending [mesh.NumDirections]int
+		if n.scanAll {
+			for p := range pending {
+				pending[p] = reqSpace
+			}
+		} else {
+			for p := range r.in {
+				for v := range r.in[p] {
+					ivc := &r.in[p][v]
+					if ivc.state == vcVA {
+						pending[ivc.outPort]++
+					}
+				}
+			}
+		}
 		for p := 0; p < mesh.NumDirections; p++ {
 			outPort := mesh.Direction(p)
-			for k := 0; k < reqSpace; k++ {
+			for k := 0; k < reqSpace && pending[p] > 0; k++ {
 				idx := (r.vaPtr[p] + k) % reqSpace
 				inPort := idx / nVC
 				inVC := idx % nVC
@@ -474,6 +668,7 @@ func (n *Network) vcAllocation() {
 				if v.state != vcVA || v.outPort != outPort {
 					continue
 				}
+				pending[p]--
 				class := v.buf[0].pkt.Class
 				outVC := r.freeOutputVC(outPort, p, class*n.cfg.vcsPerClass(), n.cfg.vcsPerClass())
 				if outVC < 0 {
@@ -505,10 +700,14 @@ func (r *router) freeOutputVC(outPort mesh.Direction, p, lo, span int) int {
 }
 
 // routeCompute computes output ports for head flits newly buffered.
-func (n *Network) routeCompute() {
-	for id, r := range n.routers {
+func (n *Network) routeCompute(ids []int) {
+	for _, id := range ids {
+		r := n.routers[id]
 		if !r.active || !n.powered(id) {
 			continue
+		}
+		if !n.scanAll && r.busyVCs == 0 {
+			continue // no VC awaiting route compute (see switchAllocation)
 		}
 		for p := range r.in {
 			for v := range r.in[p] {
@@ -534,8 +733,9 @@ func (n *Network) routeCompute() {
 
 // deliverFlits performs buffer writes for flits whose link traversal
 // completes this cycle, and ejections into NIs.
-func (n *Network) deliverFlits(now int64) {
-	for id, r := range n.routers {
+func (n *Network) deliverFlits(now int64, ids []int) {
+	for _, id := range ids {
+		r := n.routers[id]
 		for p := 0; p < mesh.NumDirections; p++ {
 			box := n.inbox[id][p]
 			k := 0
@@ -567,6 +767,7 @@ func (n *Network) deliverFlits(now int64) {
 						panic("noc: head flit into busy VC")
 					}
 					v.state = vcRoute
+					r.busyVCs++
 				}
 			}
 			n.inbox[id][p] = box[:k]
@@ -621,8 +822,9 @@ func (n *Network) deliverFlits(now int64) {
 
 // inject moves flits from source queues into router Local input ports, one
 // flit per node per cycle.
-func (n *Network) inject(now int64) {
-	for id, nic := range n.nis {
+func (n *Network) inject(now int64, ids []int) {
+	for _, id := range ids {
+		nic := n.nis[id]
 		if !nic.active {
 			continue
 		}
@@ -659,6 +861,7 @@ func (n *Network) inject(now int64) {
 		f := flit{pkt: pkt, typ: typ, seq: nic.curSeq, vc: nic.curVC}
 		nic.credits[nic.curVC]--
 		n.inbox[id][mesh.Local] = append(n.inbox[id][mesh.Local], arrival{f: f, t: now + 1})
+		n.markBusy(id)
 		n.stats.FlitsInjected++
 		if n.checker != nil {
 			n.checker.FlitInjected(n, id, pkt, f.seq)
@@ -690,15 +893,11 @@ func (n *Network) freeInjectionVC(id, class int) int {
 	return -1
 }
 
-// linkLatencyOf returns the latency of the directed link from router a to
-// router b in cycles.
-func (n *Network) linkLatencyOf(a, b int) int {
-	if n.linkLatency != nil {
-		if l, ok := n.linkLatency[a*n.m.Nodes()+b]; ok {
-			return l
-		}
-	}
-	return n.cfg.LinkLatency
+// linkLatencyOf returns the latency of the directed link leaving router id
+// through port p, in cycles: a single dense-array read on the switch
+// traversal hot path.
+func (n *Network) linkLatencyOf(id int, p mesh.Direction) int {
+	return n.linkLat[id*mesh.NumDirections+int(p)]
 }
 
 // SetLinkLatency overrides the latency of the directed link from router a
@@ -718,10 +917,7 @@ func (n *Network) SetLinkLatency(a, b, cycles int) error {
 	if n.m.HammingID(a, b) != 1 {
 		return fmt.Errorf("noc: %d and %d are not linked", a, b)
 	}
-	if n.linkLatency == nil {
-		n.linkLatency = make(map[int]int)
-	}
-	n.linkLatency[a*n.m.Nodes()+b] = cycles
+	n.linkLat[a*mesh.NumDirections+int(n.m.DirectionTo(a, b))] = cycles
 	return nil
 }
 

@@ -196,9 +196,13 @@ func (n *Network) Reconfigure(activeNodes []int, alg routing.Algorithm, drainBud
 	// dark cannot strand state, and a reactivated router resumes from the
 	// reset-equivalent state the drain left behind (all credits home, all
 	// VCs idle).
+	n.activeCount = 0
 	for id, r := range n.routers {
 		r.active = newSet[id]
 		n.nis[id].active = newSet[id]
+		if newSet[id] {
+			n.activeCount++
+		}
 	}
 	if alg != nil {
 		n.alg = alg

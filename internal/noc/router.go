@@ -98,6 +98,10 @@ type router struct {
 	vaPtr   [mesh.NumDirections]int
 	vaVCPtr [mesh.NumDirections]int
 	events  Events
+	// busyVCs counts input VCs not in vcIdle (incremented when a head flit
+	// claims a VC, decremented when its tail departs): the O(1) "any packet
+	// mid-flight through this router?" test active-work pruning needs.
+	busyVCs int
 }
 
 func newRouter(id int, cfg Config, m mesh.Mesh, active bool) *router {

@@ -135,8 +135,8 @@ func RunSynthetic(net *Network, set *traffic.Set, pattern traffic.Pattern, p Sim
 	// (a check placed only before each tick needs DrainCycles+1 iterations
 	// to observe a drain that takes exactly DrainCycles ticks).
 	allEjected := func() bool {
-		s := net.Stats()
-		return s.MeasuredEjected == s.MeasuredCreated
+		created, ejected := net.MeasuredCounts()
+		return ejected == created
 	}
 	drained := allEjected()
 	for i := 0; !drained && i < p.DrainCycles; i++ {

@@ -1,0 +1,86 @@
+// Reflection guard for the hand-written counter arithmetic: Stats.Sub and
+// Events.Sub/Add enumerate fields by name, so adding a counter without
+// extending them silently corrupts every measurement-window delta. These
+// tests walk the structs with reflection and fail the moment a field is
+// added but not subtracted (or added), naming the offender.
+package noc_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nocsprint/internal/noc"
+)
+
+// fillCounters assigns a distinct non-zero value to every integer field of a
+// counter struct, recursing into nested structs (Events inside Stats). It
+// fails on any field kind it does not understand, so a future non-integer
+// field forces this test to be taught about it rather than skipping it.
+func fillCounters(t *testing.T, v reflect.Value, next *int64, path string) {
+	t.Helper()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := path + v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Int64, reflect.Int:
+			*next += 7
+			f.SetInt(*next)
+		case reflect.Struct:
+			fillCounters(t, f, next, name+".")
+		default:
+			t.Fatalf("field %s has kind %v — teach the Sub/Add guard tests about it", name, f.Kind())
+		}
+	}
+}
+
+// checkDelta verifies got == a - b field by field, recursively.
+func checkDelta(t *testing.T, got, a, b reflect.Value, path string) {
+	t.Helper()
+	for i := 0; i < got.NumField(); i++ {
+		name := path + got.Type().Field(i).Name
+		switch got.Field(i).Kind() {
+		case reflect.Int64, reflect.Int:
+			want := a.Field(i).Int() - b.Field(i).Int()
+			if g := got.Field(i).Int(); g != want {
+				t.Errorf("Sub dropped field %s: got %d, want %d — update the hand-written subtraction", name, g, want)
+			}
+		case reflect.Struct:
+			checkDelta(t, got.Field(i), a.Field(i), b.Field(i), name+".")
+		}
+	}
+}
+
+// TestStatsSubCoversAllFields fails when a field added to Stats (or the
+// nested Events) is not subtracted by Stats.Sub.
+func TestStatsSubCoversAllFields(t *testing.T) {
+	var a, b noc.Stats
+	next := int64(1000)
+	fillCounters(t, reflect.ValueOf(&a).Elem(), &next, "Stats.")
+	next = 100 // b gets smaller distinct values so no delta is accidentally zero
+	fillCounters(t, reflect.ValueOf(&b).Elem(), &next, "Stats.")
+	got := a.Sub(b)
+	checkDelta(t, reflect.ValueOf(got), reflect.ValueOf(a), reflect.ValueOf(b), "Stats.")
+}
+
+// TestEventsSubAddCoverAllFields is the same guard for the Events
+// micro-counters' Sub and Add.
+func TestEventsSubAddCoverAllFields(t *testing.T) {
+	var a, b noc.Events
+	next := int64(5000)
+	fillCounters(t, reflect.ValueOf(&a).Elem(), &next, "Events.")
+	next = 300
+	fillCounters(t, reflect.ValueOf(&b).Elem(), &next, "Events.")
+	sub := a.Sub(b)
+	checkDelta(t, reflect.ValueOf(sub), reflect.ValueOf(a), reflect.ValueOf(b), "Events.")
+
+	sum := a
+	sum.Add(b)
+	va, vb, vs := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(sum)
+	for i := 0; i < vs.NumField(); i++ {
+		name := "Events." + vs.Type().Field(i).Name
+		want := va.Field(i).Int() + vb.Field(i).Int()
+		if g := vs.Field(i).Int(); g != want {
+			t.Errorf("Add dropped field %s: got %d, want %d — update the hand-written addition", name, g, want)
+		}
+	}
+}

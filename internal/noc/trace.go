@@ -131,8 +131,8 @@ func ReplayTrace(net *Network, events []TraceEvent, drainCycles int) (TraceResul
 	net.SetMeasuring(false)
 	drained := false
 	for i := 0; i < drainCycles; i++ {
-		s := net.Stats()
-		if s.MeasuredEjected == s.MeasuredCreated {
+		created, ejected := net.MeasuredCounts()
+		if ejected == created {
 			drained = true
 			break
 		}
