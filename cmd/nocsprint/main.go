@@ -17,10 +17,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -http
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,29 +35,44 @@ import (
 
 	"nocsprint/internal/ckpt"
 	"nocsprint/internal/core"
+	"nocsprint/internal/mesh"
 	"nocsprint/internal/noc"
+	"nocsprint/internal/obs"
 	"nocsprint/internal/power"
+	"nocsprint/internal/routing"
 	"nocsprint/internal/thermal"
+	"nocsprint/internal/traffic"
 	"nocsprint/internal/workload"
 )
 
 // options are the command-line knobs shared by every experiment.
 type options struct {
-	fast       bool
-	json       bool
-	check      bool
-	refstep    bool
-	workers    int
-	timeout    time.Duration
-	checkpoint string
-	resume     bool
+	fast        bool
+	json        bool
+	check       bool
+	refstep     bool
+	workers     int
+	timeout     time.Duration
+	checkpoint  string
+	resume      bool
+	obs         bool
+	obsInterval int
+	obsOut      string
+	httpAddr    string
+	traceOut    string
+	traceCycles int
+	traceRate   float64
+	traceSeed   int64
 
 	// Runtime state wired up by execute, not flags: the sweep-level and
-	// point-level cancellation contexts and the open checkpoint journal
-	// (nil when -checkpoint is not given).
-	ctx     context.Context
-	abort   context.Context
-	journal *ckpt.Journal
+	// point-level cancellation contexts, the open checkpoint journal (nil
+	// when -checkpoint is not given), the telemetry recorder (nil without
+	// -obs), and the sweep-progress callback (nil without -http).
+	ctx      context.Context
+	abort    context.Context
+	journal  *ckpt.Journal
+	rec      *obs.Recorder
+	progress func(done, total int)
 }
 
 // parseArgs parses flags placed before and/or after the experiment name.
@@ -75,6 +94,14 @@ func parseArgs(args []string, output io.Writer) (options, string, error) {
 	fs.DurationVar(&o.timeout, "timeout", 0, "cancel the run gracefully after this duration (0 = none)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "directory for the crash-safe sweep journal")
 	fs.BoolVar(&o.resume, "resume", false, "skip sweep points already in the -checkpoint journal")
+	fs.BoolVar(&o.obs, "obs", false, "attach cycle-sampled telemetry collectors to every simulation")
+	fs.IntVar(&o.obsInterval, "obs-interval", 1000, "telemetry sampling interval in cycles (with -obs)")
+	fs.StringVar(&o.obsOut, "obs-out", "obs", "directory for per-point telemetry JSONL/CSV files (with -obs)")
+	fs.StringVar(&o.httpAddr, "http", "", "serve sweep progress (expvar) and profiling (pprof) on this address, e.g. :8080")
+	fs.StringVar(&o.traceOut, "trace-out", "trace.jsonl", "trace experiment: output file for the generated trace")
+	fs.IntVar(&o.traceCycles, "trace-cycles", 2000, "trace experiment: injection horizon in cycles")
+	fs.Float64Var(&o.traceRate, "trace-rate", 0.1, "trace experiment: injection rate in flits/node/cycle")
+	fs.Int64Var(&o.traceSeed, "trace-seed", 1, "trace experiment: RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return options{}, "", err
 	}
@@ -101,8 +128,23 @@ func parseArgs(args []string, output io.Writer) (options, string, error) {
 	if o.resume && o.checkpoint == "" {
 		return options{}, "", errors.New("-resume requires -checkpoint")
 	}
+	if o.obsInterval < 1 {
+		return options{}, "", fmt.Errorf("-obs-interval %d: must be >= 1", o.obsInterval)
+	}
+	if o.traceCycles < 1 {
+		return options{}, "", fmt.Errorf("-trace-cycles %d: must be >= 1", o.traceCycles)
+	}
 	return o, exp, nil
 }
+
+// Sweep-progress counters exported for -http monitoring: GET /debug/vars on
+// the -http address returns them alongside the standard expvar set. They are
+// package-level because expvar names are global and main runs exactly one
+// experiment per process.
+var (
+	sweepDone  = expvar.NewInt("sweep_done")
+	sweepTotal = expvar.NewInt("sweep_total")
+)
 
 func main() {
 	opts, exp, err := parseArgs(os.Args[1:], os.Stderr)
@@ -165,6 +207,35 @@ func execute(exp string, o options) error {
 	}
 	o.ctx, o.abort = sweepCtx, abortCtx
 
+	if o.httpAddr != "" {
+		// The default mux already carries expvar's /debug/vars and (via the
+		// blank import) net/http/pprof's /debug/pprof; sweep drivers feed the
+		// sweep_done/sweep_total counters through NetSimParams.Progress.
+		ln, err := net.Listen("tcp", o.httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http %s: %w", o.httpAddr, err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "nocsprint: monitoring on http://%s/debug/vars (pprof at /debug/pprof)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+		o.progress = func(done, total int) {
+			sweepDone.Set(int64(done))
+			sweepTotal.Set(int64(total))
+		}
+	}
+
+	if o.obs {
+		cfg := core.DefaultConfig()
+		rec, err := obs.NewRecorder(obs.Config{
+			Interval: o.obsInterval,
+			Power:    &obs.PowerModel{Params: cfg.Router, Corner: cfg.Corner},
+		})
+		if err != nil {
+			return fmt.Errorf("-obs: %w", err)
+		}
+		o.rec = rec
+	}
+
 	var err error
 	if o.json {
 		err = runJSON(exp, o)
@@ -174,6 +245,20 @@ func execute(exp string, o options) error {
 	if err != nil && errors.Is(err, context.Canceled) && o.journal != nil {
 		fmt.Fprintf(os.Stderr, "nocsprint: %d completed point(s) saved in %s\n", o.journal.Len(), o.journal.Path())
 		fmt.Fprintf(os.Stderr, "nocsprint: resume with: nocsprint %s -checkpoint %s -resume\n", exp, o.checkpoint)
+	}
+	if o.rec != nil {
+		// Telemetry from completed points is written even when the run was
+		// cancelled part-way: the collectors that exist are whole.
+		if n := len(o.rec.Collectors()); n > 0 {
+			if werr := o.rec.WriteFiles(o.obsOut); werr != nil {
+				if err == nil {
+					err = werr
+				}
+				fmt.Fprintf(os.Stderr, "nocsprint: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "nocsprint: telemetry for %d point(s) written to %s\n", n, o.obsOut)
+			}
+		}
 	}
 	return err
 }
@@ -247,6 +332,17 @@ flags:
                output is bit-identical to an uninterrupted run, at any
                -workers count (a corrupt or mismatched checkpoint is
                rejected with a warning and the run starts fresh)
+  -obs         attach cycle-sampled telemetry to every simulation: per-window
+               flit/utilization/queue/power series plus a typed event
+               timeline (results are proven bit-identical with or without)
+  -obs-interval N
+               telemetry sampling interval in cycles (default 1000)
+  -obs-out DIR directory for per-point telemetry files, one .jsonl and one
+               .csv per simulation (default obs)
+  -http ADDR   serve live monitoring on ADDR (e.g. :8080): sweep progress
+               counters at /debug/vars (expvar) and profiling at /debug/pprof
+  -trace-out FILE, -trace-cycles N, -trace-rate R, -trace-seed S
+               knobs for the trace experiment
 
 signals: the first SIGINT/SIGTERM stops claiming new sweep points, lets
 in-flight points finish (journaling them), and exits with a partial-result
@@ -273,7 +369,8 @@ experiments:
   dimdark   extension: dim silicon (more slow cores) vs dark (few fast)
   llc       extension: Sec 3.4 LLC policies — bypass paths vs home remap
   faults    extension: fault injection & online sprint-region repair
-  all       everything above
+  trace     offline trace generation + JSONL export + deterministic replay
+  all       everything above (except trace)
 `)
 }
 
@@ -323,6 +420,8 @@ func run(name string, o options) error {
 		return llcCmd(s, o)
 	case "faults":
 		return faultsCmd(s, faultParams(o))
+	case "trace":
+		return traceCmd(s, o)
 	case "all":
 		for _, exp := range []func() error{
 			func() error { return table1(s) },
@@ -356,6 +455,7 @@ func simParams(o options) (core.NetSimParams, core.Fig11Params) {
 	sim := core.NetSimParams{
 		Workers: o.workers, Check: o.check, Reference: o.refstep,
 		Ctx: o.ctx, Abort: o.abort, Journal: o.journal,
+		Obs: o.rec, Progress: o.progress,
 	}
 	if o.fast {
 		sim.Warmup, sim.Measure, sim.Drain = 300, 1000, 10000
@@ -841,6 +941,7 @@ func faultParams(o options) core.FaultParams {
 	p := core.FaultParams{Sim: core.NetSimParams{
 		Workers: o.workers, Check: o.check, Reference: o.refstep,
 		Ctx: o.ctx, Abort: o.abort, Journal: o.journal,
+		Obs: o.rec, Progress: o.progress,
 	}}
 	if o.fast {
 		p.Cycles = 8000
@@ -874,11 +975,59 @@ func faultsCmd(s *core.Sprinter, p core.FaultParams) error {
 	return nil
 }
 
+// traceCmd generates a deterministic uniform-random injection trace over the
+// full mesh, writes it through noc.WriteTraceFile — the path that joins the
+// buffered-write flush error with the file's Close error, so a full disk is
+// never reported as success — and replays it on a fresh network to verify the
+// file round-trips.
+func traceCmd(s *core.Sprinter, o options) error {
+	header("Trace: offline generation, JSONL export, deterministic replay")
+	cfg := s.Config()
+	nodes := make([]int, cfg.NoC.Nodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	set := traffic.NewSet(nodes)
+	events, err := noc.GenerateTrace(set, traffic.NewUniform(len(nodes)), o.traceRate,
+		cfg.NoC.PacketLength, o.traceCycles, o.traceSeed)
+	if err != nil {
+		return err
+	}
+	if err := noc.WriteTraceFile(o.traceOut, events); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d injection(s) over %d cycles to %s\n", len(events), o.traceCycles, o.traceOut)
+
+	f, err := os.Open(o.traceOut)
+	if err != nil {
+		return err
+	}
+	reread, err := noc.ReadTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	m := mesh.New(cfg.NoC.Width, cfg.NoC.Height)
+	net, err := noc.New(cfg.NoC, routing.NewDOR(m), nil)
+	if err != nil {
+		return err
+	}
+	res, err := noc.ReplayTrace(net, reread, 10*o.traceCycles+20000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay: %d packet(s), avg latency %.1f cycles, drained=%v\n",
+		res.Packets, res.AvgLatency, res.Drained)
+	return nil
+}
+
 // llcParams maps the CLI options onto the LLC study. The point-level abort
 // context (second interrupt) is threaded into the cache-system cycle loop,
 // so the study no longer rides out millions of cycles after an abort.
 func llcParams(o options) core.LLCParams {
-	return core.LLCParams{Check: o.check, Reference: o.refstep, Ctx: o.abort}
+	return core.LLCParams{Check: o.check, Reference: o.refstep, Ctx: o.abort, Obs: o.rec}
 }
 
 func llcCmd(s *core.Sprinter, o options) error {

@@ -3,9 +3,23 @@ package main
 import (
 	"flag"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+// defaultOpts is the options value an empty flag line parses to; tests build
+// expectations by mutating a copy.
+func defaultOpts(mut func(*options)) options {
+	o := options{
+		obsInterval: 1000, obsOut: "obs",
+		traceOut: "trace.jsonl", traceCycles: 2000, traceRate: 0.1, traceSeed: 1,
+	}
+	if mut != nil {
+		mut(&o)
+	}
+	return o
+}
 
 // TestParseArgsTrailingFlags is the regression test for the CLI bug where
 // flags placed after the experiment name were silently ignored
@@ -17,13 +31,20 @@ func TestParseArgsTrailingFlags(t *testing.T) {
 		want options
 		exp  string
 	}{
-		{[]string{"fig11"}, options{}, "fig11"},
-		{[]string{"-fast", "fig11"}, options{fast: true}, "fig11"},
-		{[]string{"fig11", "-fast"}, options{fast: true}, "fig11"},
-		{[]string{"fig11", "-fast", "-json"}, options{fast: true, json: true}, "fig11"},
-		{[]string{"-json", "fig11", "-fast"}, options{fast: true, json: true}, "fig11"},
-		{[]string{"fig11", "-workers", "4"}, options{workers: 4}, "fig11"},
-		{[]string{"-workers=2", "all", "-fast"}, options{fast: true, workers: 2}, "all"},
+		{[]string{"fig11"}, defaultOpts(nil), "fig11"},
+		{[]string{"-fast", "fig11"}, defaultOpts(func(o *options) { o.fast = true }), "fig11"},
+		{[]string{"fig11", "-fast"}, defaultOpts(func(o *options) { o.fast = true }), "fig11"},
+		{[]string{"fig11", "-fast", "-json"}, defaultOpts(func(o *options) { o.fast, o.json = true, true }), "fig11"},
+		{[]string{"-json", "fig11", "-fast"}, defaultOpts(func(o *options) { o.fast, o.json = true, true }), "fig11"},
+		{[]string{"fig11", "-workers", "4"}, defaultOpts(func(o *options) { o.workers = 4 }), "fig11"},
+		{[]string{"-workers=2", "all", "-fast"}, defaultOpts(func(o *options) { o.fast, o.workers = true, 2 }), "all"},
+		{[]string{"-obs", "fig11", "-obs-interval", "500"},
+			defaultOpts(func(o *options) { o.obs, o.obsInterval = true, 500 }), "fig11"},
+		{[]string{"fig11", "-obs", "-obs-out", "telemetry"},
+			defaultOpts(func(o *options) { o.obs, o.obsOut = true, "telemetry" }), "fig11"},
+		{[]string{"-http", ":0", "fig11"}, defaultOpts(func(o *options) { o.httpAddr = ":0" }), "fig11"},
+		{[]string{"trace", "-trace-cycles", "100", "-trace-rate", "0.2"},
+			defaultOpts(func(o *options) { o.traceCycles, o.traceRate = 100, 0.2 }), "trace"},
 	}
 	for _, c := range cases {
 		got, exp, err := parseArgs(c.args, io.Discard)
@@ -31,7 +52,7 @@ func TestParseArgsTrailingFlags(t *testing.T) {
 			t.Errorf("parseArgs(%v): %v", c.args, err)
 			continue
 		}
-		if got != c.want || exp != c.exp {
+		if !reflect.DeepEqual(got, c.want) || exp != c.exp {
 			t.Errorf("parseArgs(%v) = %+v, %q; want %+v, %q", c.args, got, exp, c.want, c.exp)
 		}
 	}
@@ -39,13 +60,16 @@ func TestParseArgsTrailingFlags(t *testing.T) {
 
 func TestParseArgsErrors(t *testing.T) {
 	cases := [][]string{
-		{},                          // no experiment
-		{"-fast"},                   // flags only
-		{"fig11", "extra"},          // stray positional after experiment
-		{"fig11", "-fast", "extra"}, // stray positional after trailing flags
-		{"fig11", "-nonesuch"},      // unknown trailing flag
-		{"-nonesuch", "fig11"},      // unknown leading flag
-		{"fig11", "-workers", "-2"}, // negative worker count
+		{},                               // no experiment
+		{"-fast"},                        // flags only
+		{"fig11", "extra"},               // stray positional after experiment
+		{"fig11", "-fast", "extra"},      // stray positional after trailing flags
+		{"fig11", "-nonesuch"},           // unknown trailing flag
+		{"-nonesuch", "fig11"},           // unknown leading flag
+		{"fig11", "-workers", "-2"},      // negative worker count
+		{"fig11", "-obs-interval", "0"},  // sampling interval below 1
+		{"trace", "-trace-cycles", "0"},  // empty trace horizon
+		{"fig11", "-obs-interval", "-3"}, // negative interval
 	}
 	for _, args := range cases {
 		if _, _, err := parseArgs(args, io.Discard); err == nil {

@@ -1,0 +1,94 @@
+package ckpt
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestRunProgressCallback pins the progress contract: one call up front for
+// the journal-decoded prefix (so monitors learn the total immediately), one
+// call per computed point, done strictly monotone and never repeated, total
+// constant.
+func TestRunProgressCallback(t *testing.T) {
+	const n = 8
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i], _ = Key(i)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // pre-record a resumed prefix
+		if err := j.Append(keys[i], i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	type call struct{ done, total int }
+	var calls []call
+	progress := func(done, total int) {
+		mu.Lock()
+		calls = append(calls, call{done, total})
+		mu.Unlock()
+	}
+	out, err := Run(context.Background(), j, keys, 4, func(_ context.Context, i int) (int, error) {
+		return i * 10, nil
+	}, progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out {
+		if r != i*10 {
+			t.Errorf("point %d = %d, want %d", i, r, i*10)
+		}
+	}
+	if len(calls) != 1+(n-3) {
+		t.Fatalf("%d progress calls, want 1 prefix + %d computed: %v", len(calls), n-3, calls)
+	}
+	if calls[0] != (call{3, n}) {
+		t.Errorf("first call %v, want the journal-decoded prefix {3 %d}", calls[0], n)
+	}
+	for i, c := range calls {
+		if c.total != n {
+			t.Errorf("call %d: total %d, want %d", i, c.total, n)
+		}
+		if c.done != 3+i {
+			t.Errorf("call %d: done %d, want %d (monotone, each value once)", i, c.done, 3+i)
+		}
+	}
+	if last := calls[len(calls)-1]; last.done != n {
+		t.Errorf("final call %v never reached done == total", last)
+	}
+}
+
+// TestRunProgressNilSafe: a nil journal reports a zero prefix, and both an
+// absent and an explicitly nil callback are fine.
+func TestRunProgressNilSafe(t *testing.T) {
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i], _ = Key(fmt.Sprintf("p%d", i))
+	}
+	fn := func(_ context.Context, i int) (int, error) { return i, nil }
+	if _, err := Run(context.Background(), nil, keys, 2, fn, nil); err != nil {
+		t.Fatalf("nil callback: %v", err)
+	}
+	var first *[2]int
+	cb := func(done, total int) {
+		if first == nil {
+			first = &[2]int{done, total}
+		}
+	}
+	if _, err := Run(context.Background(), nil, keys, 2, fn, cb); err != nil {
+		t.Fatal(err)
+	}
+	if first == nil || *first != [2]int{0, 4} {
+		t.Errorf("first progress call %v, want {0 4} for a journal-less sweep", first)
+	}
+}

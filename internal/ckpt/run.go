@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"nocsprint/internal/runner"
 )
@@ -26,7 +27,14 @@ import (
 // R's JSON encoding round-trips (true for the exported numeric/bool/string
 // result structs the experiment layer journals), so resumed sweeps are
 // indistinguishable from uninterrupted ones.
-func Run[R any](ctx context.Context, j *Journal, keys []string, workers int, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+//
+// An optional progress callback receives (done, total) as points resolve:
+// once for the journal-decoded prefix (possibly done == 0, so monitors learn
+// the total immediately) and once per computed point. Calls come from worker
+// goroutines but are serialized; the callback observes each done value at
+// most once and never sees it decrease. Progress reporting is observational
+// — it cannot perturb results and does not enter journal keys.
+func Run[R any](ctx context.Context, j *Journal, keys []string, workers int, fn func(ctx context.Context, i int) (R, error), progress ...func(done, total int)) ([]R, error) {
 	out := make([]R, len(keys))
 	seen := make(map[string]int, len(keys))
 	todo := make([]int, 0, len(keys))
@@ -45,6 +53,19 @@ func Run[R any](ctx context.Context, j *Journal, keys []string, workers int, fn 
 		}
 		todo = append(todo, i)
 	}
+	var report func()
+	if len(progress) > 0 && progress[0] != nil {
+		cb := progress[0]
+		done := len(keys) - len(todo)
+		var mu sync.Mutex
+		cb(done, len(keys))
+		report = func() {
+			mu.Lock()
+			done++
+			cb(done, len(keys))
+			mu.Unlock()
+		}
+	}
 	_, _, err := runner.MapCtx(ctx, todo, workers, func(ctx context.Context, i int) (struct{}, error) {
 		r, err := fn(ctx, i)
 		if err != nil {
@@ -55,6 +76,9 @@ func Run[R any](ctx context.Context, j *Journal, keys []string, workers int, fn 
 			if err := j.Append(keys[i], r); err != nil {
 				return struct{}{}, err
 			}
+		}
+		if report != nil {
+			report()
 		}
 		return struct{}{}, nil
 	})

@@ -15,11 +15,13 @@ import (
 // base seed, and the point's own coordinates. Everything that determines
 // the point's result must be in here — a stale journal then can never
 // satisfy a changed sweep, because changed parameters change every key.
-// Workers, Check, and Reference are deliberately excluded: worker count,
-// the observational invariant checker, and the reference-stepper switch are
-// all proven (by the determinism and zero-drift equivalence tests) not to
-// affect results, so a checkpoint taken at one setting resumes under any
-// other.
+// Workers, Check, Reference, Obs, and Progress are deliberately excluded:
+// worker count, the observational invariant checker, the reference-stepper
+// switch, the telemetry recorder, and the progress callback are all proven
+// (by the determinism and zero-drift equivalence tests) not to affect
+// results, so a checkpoint taken at one setting resumes under any other.
+// Note the flip side for Obs: points satisfied from the journal never rerun,
+// so a resumed sweep only produces collectors for freshly computed points.
 func pointKey(driver string, cfg, point any, sim NetSimParams) (string, error) {
 	return ckpt.Key(struct {
 		Driver                 string

@@ -15,6 +15,7 @@ import (
 	"nocsprint/internal/floorplan"
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/noc"
+	"nocsprint/internal/obs"
 	"nocsprint/internal/power"
 	"nocsprint/internal/routing"
 	"nocsprint/internal/sprint"
@@ -311,6 +312,20 @@ type NetSimParams struct {
 	// from checkpoint keys; it exists so sweeps can be replayed on the
 	// reference pipeline when auditing the optimized stepper.
 	Reference bool
+	// Obs, when non-nil, attaches a telemetry collector (internal/obs) to
+	// every network the drivers build, labeled with the driver and sweep
+	// point so per-point series and event timelines can be exported after
+	// the sweep. Observational like Check and Reference (the zero-drift
+	// suite proves bit-identical results with it on or off), so it too is
+	// excluded from checkpoint keys; on a journal resume, only freshly
+	// computed points produce collectors — decoded points never re-run, so
+	// the export is checkpoint-safe but covers the resumed work only.
+	Obs *obs.Recorder
+	// Progress, when non-nil, is called as sweep points resolve (computed or
+	// decoded from the journal) with the running done count and the sweep
+	// total. Calls may come from concurrent workers; keep the callback cheap
+	// and thread-safe (the CLI publishes the counts through expvar).
+	Progress func(done, total int)
 }
 
 // sweepCtx returns the sweep-level context, defaulting to Background.
@@ -322,14 +337,18 @@ func (p NetSimParams) sweepCtx() context.Context {
 }
 
 // instrument applies the observational switches to a freshly built network:
-// the invariant checker when p.Check is set, and the reference full-scan
-// stepper when p.Reference is set. region carries the CDOR hop rules of the
-// sprint region the network routes over; a nil region enforces plain
-// X-then-Y dimension order instead (all the full-mesh baselines route DOR).
-// Neither switch affects simulation results.
-func (p NetSimParams) instrument(net *noc.Network, region *sprint.Region) {
+// the invariant checker when p.Check is set, a telemetry collector labeled
+// label when p.Obs is set, and the reference full-scan stepper when
+// p.Reference is set. region carries the CDOR hop rules of the sprint region
+// the network routes over; a nil region enforces plain X-then-Y dimension
+// order instead (all the full-mesh baselines route DOR). None of the
+// switches affects simulation results.
+func (p NetSimParams) instrument(net *noc.Network, region *sprint.Region, label string) {
 	if p.Check {
 		net.SetChecker(check.New(check.Config{Region: region, DOR: region == nil}))
+	}
+	if p.Obs != nil {
+		p.Obs.Attach(net, label)
 	}
 	net.UseReferenceStepper(p.Reference)
 }
@@ -404,9 +423,9 @@ func (s *Sprinter) EvaluateNetwork(p workload.Profile, scheme Scheme, sp NetSimP
 		return NetworkEval{}, err
 	}
 	if scheme == FullSprinting {
-		sp.instrument(net, nil)
+		sp.instrument(net, nil, fmt.Sprintf("eval/%s/%s", p.Name, scheme))
 	} else {
-		sp.instrument(net, region)
+		sp.instrument(net, region, fmt.Sprintf("eval/%s/%s", p.Name, scheme))
 	}
 	pattern := traffic.NewUniform(set.Size())
 	res, err := noc.RunSynthetic(net, set, pattern, noc.SimParams{
@@ -548,9 +567,9 @@ func (s *Sprinter) TrafficHeatMap(p workload.Profile, scheme Scheme, useFloorpla
 			return nil, err
 		}
 		if scheme == FullSprinting {
-			sp.instrument(net, nil)
+			sp.instrument(net, nil, fmt.Sprintf("heatmap/%s/%s", p.Name, scheme))
 		} else {
-			sp.instrument(net, region)
+			sp.instrument(net, region, fmt.Sprintf("heatmap/%s/%s", p.Name, scheme))
 		}
 		set := traffic.NewSet(region.ActiveNodes())
 		if _, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{

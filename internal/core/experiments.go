@@ -10,6 +10,7 @@ import (
 	"nocsprint/internal/ckpt"
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/noc"
+	"nocsprint/internal/obs"
 	"nocsprint/internal/power"
 	"nocsprint/internal/routing"
 	"nocsprint/internal/sprint"
@@ -261,7 +262,7 @@ func Fig9Fig10Network(s *Sprinter, sp NetSimParams) (NetResult, error) {
 			PowerFull:   full.NetPower.Total(),
 			PowerNoC:    nocs.NetPower.Total(),
 		}, nil
-	})
+	}, sp.Progress)
 	if err != nil {
 		return NetResult{}, err
 	}
@@ -359,7 +360,7 @@ func Fig11Sweep(s *Sprinter, levels []int, params Fig11Params) ([]Fig11Series, e
 		func(_ context.Context, i int) (Fig11Point, error) {
 			tk := tasks[i]
 			return fig11Point(s, tk.level, tk.ri, tk.rate, params)
-		})
+		}, params.Sim.Progress)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +404,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 	if err != nil {
 		return Fig11Point{}, err
 	}
-	params.Sim.instrument(net, region)
+	params.Sim.instrument(net, region, fmt.Sprintf("fig11/l%d/r%02d/noc", level, ri))
 	set := traffic.NewSet(region.ActiveNodes())
 	res, err := noc.RunSynthetic(net, set, traffic.NewUniform(level), noc.SimParams{
 		InjectionRate: rate,
@@ -436,7 +437,7 @@ func fig11Point(s *Sprinter, level, ri int, rate float64, params Fig11Params) (F
 		if err != nil {
 			return Fig11Point{}, err
 		}
-		params.Sim.instrument(fnet, nil)
+		params.Sim.instrument(fnet, nil, fmt.Sprintf("fig11/l%d/r%02d/full%d", level, ri, sample))
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate,
 			WarmupCycles:  params.Sim.Warmup,
@@ -605,7 +606,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 		// Scheme 1: full-sprinting, no network power management.
 		none, err := s.EvaluateNetwork(p, FullSprinting, NetSimParams{
 			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed, Check: sp.Check,
-			Abort: sp.Abort,
+			Abort: sp.Abort, Reference: sp.Reference, Obs: sp.Obs,
 		})
 		if err != nil {
 			return GatingResult{}, err
@@ -619,7 +620,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 		if err := net.EnableRuntimeGating(gcfg); err != nil {
 			return GatingResult{}, err
 		}
-		sp.instrument(net, nil)
+		sp.instrument(net, nil, fmt.Sprintf("gating/%s/runtime", p.Name))
 		set := traffic.NewSet(allNodes(s.mesh.Nodes()))
 		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
 			InjectionRate: p.InjRate,
@@ -645,7 +646,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 		// Scheme 3: NoC-sprinting.
 		nocs, err := s.EvaluateNetwork(p, NoCSprinting, NetSimParams{
 			Warmup: sp.Warmup, Measure: sp.Measure, Drain: sp.Drain, Seed: seed, Check: sp.Check,
-			Abort: sp.Abort,
+			Abort: sp.Abort, Reference: sp.Reference, Obs: sp.Obs,
 		})
 		if err != nil {
 			return GatingResult{}, err
@@ -774,7 +775,7 @@ func FloorplanWireStudy(s *Sprinter, sp NetSimParams) ([]WireCase, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		sp.instrument(net, region)
+		sp.instrument(net, region, fmt.Sprintf("wires/planned=%t/smart=%t", planned, smart))
 		maxLink := s.cfg.NoC.LinkLatency
 		if planned && !smart {
 			// Plain wires: latency grows with the physical Euclidean
@@ -905,7 +906,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		if err != nil {
 			return ScaleRow{}, err
 		}
-		sp.instrument(net, region)
+		sp.instrument(net, region, fmt.Sprintf("scaling/%dx%d/noc", w, w))
 		res, err := noc.RunSynthetic(net, traffic.NewSet(region.ActiveNodes()),
 			traffic.NewUniform(level), noc.SimParams{
 				InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
@@ -927,7 +928,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 		if err != nil {
 			return ScaleRow{}, err
 		}
-		sp.instrument(fnet, nil)
+		sp.instrument(fnet, nil, fmt.Sprintf("scaling/%dx%d/full", w, w))
 		fres, err := noc.RunSynthetic(fnet, fset, traffic.NewUniform(level), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
 			DrainCycles: sp.Drain, Seed: int64(101 + wi), Ctx: sp.Abort,
@@ -946,7 +947,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 			LatencyCut:      1 - res.AvgLatency/fres.AvgLatency,
 			PowerSaving:     1 - nb.Total()/fb.Total(),
 		}, nil
-	})
+	}, sp.Progress)
 }
 
 // SensitivityRow is one router configuration of the microarchitecture
@@ -990,7 +991,7 @@ func SensitivitySweep(sp NetSimParams) ([]SensitivityRow, error) {
 	}
 	return ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (SensitivityRow, error) {
 		return SensitivityPoint(tasks[i].vcs, tasks[i].depth, sp)
-	})
+	}, sp.Progress)
 }
 
 // SensitivityPoint evaluates one router configuration (VC count, buffer
@@ -1010,7 +1011,7 @@ func SensitivityPoint(vcs, depth int, sp NetSimParams) (SensitivityRow, error) {
 		if err != nil {
 			return SensitivityRow{}, err
 		}
-		sp.instrument(net, nil)
+		sp.instrument(net, nil, fmt.Sprintf("sensitivity/v%d_d%d/r%02d", vcs, depth, ri))
 		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
 			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
 			DrainCycles: sp.Drain, Seed: int64(300 + ri), Ctx: sp.Abort,
@@ -1125,7 +1126,7 @@ func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string, sp NetSimPa
 		}
 		pt.DimWins = pt.DimPerf > pt.DarkPerf
 		return pt, nil
-	})
+	}, sp.Progress)
 }
 
 // LLCRow is one configuration of the §3.4 last-level-cache study.
@@ -1166,6 +1167,10 @@ type LLCParams struct {
 	// riding out millions of cycles. Nil never cancels; results are
 	// identical with or without a context attached.
 	Ctx context.Context
+	// Obs attaches telemetry collectors to the study's networks (see
+	// NetSimParams.Obs) — the cache system steps the network every cycle, so
+	// the samples cover the protocol traffic. Observational.
+	Obs *obs.Recorder
 }
 
 func (p LLCParams) withDefaults() LLCParams {
@@ -1220,11 +1225,11 @@ func LLCStudy(s *Sprinter, p LLCParams) ([]LLCRow, error) {
 		if err != nil {
 			return LLCRow{}, err
 		}
-		sp := NetSimParams{Check: p.Check, Reference: p.Reference}
+		sp := NetSimParams{Check: p.Check, Reference: p.Reference, Obs: p.Obs}
 		if gated {
-			sp.instrument(net, region)
+			sp.instrument(net, region, "llc/"+name)
 		} else {
-			sp.instrument(net, nil)
+			sp.instrument(net, nil, "llc/"+name)
 		}
 		var streamErr error
 		mk := func(node int) *cache.Stream {

@@ -9,6 +9,7 @@ import (
 	"nocsprint/internal/ckpt"
 	"nocsprint/internal/fault"
 	"nocsprint/internal/noc"
+	"nocsprint/internal/obs"
 	"nocsprint/internal/power"
 	"nocsprint/internal/routing"
 	"nocsprint/internal/sprint"
@@ -201,17 +202,47 @@ func (s *Sprinter) buildFaultSchedule(rate float64, p FaultParams, seed int64) (
 	return fault.New(s.mesh.Nodes(), append(sched.Events(), trip))
 }
 
+// obsGovKind maps a governor decision onto its telemetry event kind.
+func obsGovKind(k sprint.GovernorEventKind) obs.EventKind {
+	switch k {
+	case sprint.GovMasterElection:
+		return obs.EventMasterElection
+	case sprint.GovDegrade:
+		return obs.EventDegrade
+	case sprint.GovResumeScheduled:
+		return obs.EventResumeScheduled
+	case sprint.GovResumeFailed:
+		return obs.EventResumeFailed
+	case sprint.GovResumed:
+		return obs.EventResumed
+	case sprint.GovDeclaredDead:
+		return obs.EventDeclaredDead
+	default:
+		return obs.EventRepair
+	}
+}
+
 // FaultRun executes one fault-injection run: traffic under the schedule,
 // governor-driven repair applied through Network.Reconfigure, bounded
 // drains, and (when p.Sim.Check is set) the invariant checker attached
 // across every reconfiguration. It is deterministic in (s, sched, p, seed).
+// When p.Sim.Obs is set, the run's collector also carries the full event
+// timeline: fault arrivals, every governor decision, sprint-level changes,
+// the quiesce/drain phases of each reconfiguration, and — through a thermal
+// model scaled to p.ThermalSeconds — the temperature series.
 func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (FaultPoint, error) {
 	p = p.withDefaults()
 	if p.Level < 2 || p.Level > s.mesh.Nodes() {
 		return FaultPoint{}, fmt.Errorf("core: fault run level %d outside [2,%d]", p.Level, s.mesh.Nodes())
 	}
+	var col *obs.Collector // assigned after the network exists; nil when telemetry is off
 	govCfg := sprint.DefaultGovernorConfig()
 	govCfg.Validate = s.cdorValidator()
+	govCfg.OnEvent = func(ev sprint.GovernorEvent) {
+		if col != nil {
+			col.Emit(ev.Cycle, obsGovKind(ev.Kind), ev.Node, ev.Detail)
+		}
+	}
 	gov, err := sprint.NewGovernor(s.mesh, s.cfg.Master, p.Level, s.cfg.Metric, govCfg)
 	if err != nil {
 		return FaultPoint{}, err
@@ -234,10 +265,34 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 		net.SetChecker(chk)
 	}
 	net.UseReferenceStepper(p.Sim.Reference)
+	if p.Sim.Obs != nil {
+		// Derive a per-run thermal model on top of the recorder's defaults:
+		// the driver knows its own cycle-to-seconds mapping and the chip
+		// power baseline, so the temperature series lines up with the
+		// schedule's derived trip cycle.
+		chipW, err := s.sprintChipPower(p.Level)
+		if err != nil {
+			return FaultPoint{}, err
+		}
+		cfg := p.Sim.Obs.Config()
+		cfg.Thermal = &obs.ThermalModel{
+			Model:           s.cfg.Lumped,
+			SecondsPerCycle: p.ThermalSeconds / float64(p.Cycles),
+			BasePowerW:      chipW,
+			TripK:           p.TripTempK,
+			ClearK:          p.TripTempK - 3.0,
+		}
+		col = p.Sim.Obs.AttachWith(net, fmt.Sprintf("faults/l%d/s%d", p.Level, seed), cfg)
+	}
 
 	var activeCycles int64 // Σ over cycles of the active-router count
+	prevLevel := region.Level()
 	reconfigure := func(r *sprint.Region) error {
 		oldActive := int64(net.ActiveRouters())
+		if col != nil {
+			col.Emit(net.Cycle(), obs.EventQuiesce, r.Master(),
+				fmt.Sprintf("reconfiguring toward level %d (%d nodes)", r.Level(), len(r.ActiveNodes())))
+		}
 		rep, err := net.Reconfigure(r.ActiveNodes(), routing.NewCDOR(r), p.DrainBudget)
 		if err != nil {
 			return err
@@ -247,6 +302,16 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 		if rep.Changed {
 			pt.Repairs++
 		}
+		if col != nil {
+			col.Emit(net.Cycle(), obs.EventDrained, r.Master(),
+				fmt.Sprintf("drained in %d cycles, dropped %d packets / %d flits",
+					rep.DrainCycles, rep.PacketsDropped, rep.FlitsDropped))
+			if lvl := r.Level(); lvl != prevLevel {
+				col.Emit(net.Cycle(), obs.EventSprintLevel, r.Master(),
+					fmt.Sprintf("sprint level %d -> %d", prevLevel, lvl))
+			}
+		}
+		prevLevel = r.Level()
 		if chk != nil {
 			chk.SetRegion(r)
 		}
@@ -269,6 +334,9 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 		}
 		now := net.Cycle()
 		for _, ev := range cur.Due(now) {
+			if col != nil {
+				col.Emit(now, obs.EventFault, ev.Node, ev.Describe())
+			}
 			var (
 				r       *sprint.Region
 				changed bool
@@ -421,5 +489,5 @@ func FaultSweep(s *Sprinter, p FaultParams) ([]FaultPoint, error) {
 		}
 		pt.Rate = tk.rate
 		return pt, nil
-	})
+	}, p.Sim.Progress)
 }

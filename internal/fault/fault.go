@@ -83,6 +83,24 @@ func (e Event) String() string {
 	}
 }
 
+// Describe renders the event as a human-readable sentence fragment, for
+// event timelines and logs where the compact schedule text form (String) is
+// too terse.
+func (e Event) Describe() string {
+	switch e.Kind {
+	case RouterTransient:
+		return fmt.Sprintf("transient router fault at node %d for %d cycles", e.Node, e.Duration)
+	case RouterPermanent:
+		return fmt.Sprintf("permanent router fault at node %d", e.Node)
+	case LinkPermanent:
+		return fmt.Sprintf("permanent link fault %d-%d", e.A, e.B)
+	case ThermalTrip:
+		return "thermal trip"
+	default:
+		return fmt.Sprintf("unknown fault kind %d", int(e.Kind))
+	}
+}
+
 // Schedule is an ordered list of fault events over a mesh of a known size.
 type Schedule struct {
 	nodes  int

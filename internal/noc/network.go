@@ -161,6 +161,9 @@ type Network struct {
 	// checker, when non-nil, observes simulator events for runtime
 	// invariant enforcement (see checker.go and internal/check).
 	checker Checker
+	// obs, when non-nil, receives telemetry callbacks (see observer.go and
+	// internal/obs); independent of checker so both can attach at once.
+	obs Observer
 	// classCreated/classEjected/classDropped count flits per message class
 	// for conservation checking (indexed by Packet.Class).
 	classCreated, classEjected, classDropped []int64
@@ -440,6 +443,9 @@ func (n *Network) Step() {
 	n.updateGating(now)
 	if n.checker != nil {
 		n.checker.CycleEnd(n, now)
+	}
+	if n.obs != nil {
+		n.obs.CycleEnd(n, now)
 	}
 	n.prune()
 	n.cycle++
@@ -792,6 +798,9 @@ func (n *Network) deliverFlits(now int64, ids []int) {
 				if n.checker != nil {
 					n.checker.FlitEjected(n, id, ev.f.pkt, ev.f.typ.IsTail())
 				}
+				if n.obs != nil {
+					n.obs.FlitEjected(n, id, ev.f.pkt, ev.f.typ.IsTail(), true)
+				}
 				if ev.f.typ.IsTail() {
 					n.stats.PacketsDropped++
 				}
@@ -801,6 +810,9 @@ func (n *Network) deliverFlits(now int64, ids []int) {
 			n.classEjected[ev.f.pkt.Class]++
 			if n.checker != nil {
 				n.checker.FlitEjected(n, id, ev.f.pkt, ev.f.typ.IsTail())
+			}
+			if n.obs != nil {
+				n.obs.FlitEjected(n, id, ev.f.pkt, ev.f.typ.IsTail(), false)
 			}
 			if ev.f.typ.IsTail() {
 				pkt := ev.f.pkt
@@ -865,6 +877,9 @@ func (n *Network) inject(now int64, ids []int) {
 		n.stats.FlitsInjected++
 		if n.checker != nil {
 			n.checker.FlitInjected(n, id, pkt, f.seq)
+		}
+		if n.obs != nil {
+			n.obs.FlitInjected(n, id, pkt, f.seq)
 		}
 		if typ.IsHead() {
 			pkt.InjectedAt = now

@@ -1,0 +1,201 @@
+// Zero-drift and zero-alloc guarantees for the telemetry layer: attaching an
+// obs.Collector to a network must change nothing about the simulation — the
+// same reflect.DeepEqual discipline the stepper-equivalence suite applies —
+// and a steady-state Step with a collector attached must still allocate
+// nothing. The suite lives in package noc_test so it exercises only the
+// public Observer API, exactly like the real drivers.
+package noc_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nocsprint/internal/noc"
+	"nocsprint/internal/obs"
+	"nocsprint/internal/power"
+	"nocsprint/internal/traffic"
+)
+
+// newTestRecorder builds a recorder with the power model attached, so the
+// sampled series exercises the alloc-free NetworkPowerTotal path.
+func newTestRecorder(t *testing.T, cfg noc.Config, interval int) *obs.Recorder {
+	t.Helper()
+	rec, err := obs.NewRecorder(obs.Config{
+		Interval: interval,
+		Power:    &obs.PowerModel{Params: power.DefaultRouterParams45nm(cfg), Corner: power.Nominal},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// compareNets asserts bit-identical observables between two runs.
+func compareNets(t *testing.T, a, b *noc.Network, aPkts, bPkts []*noc.Packet) {
+	t.Helper()
+	if as, bs := a.Stats(), b.Stats(); !reflect.DeepEqual(as, bs) {
+		t.Errorf("stats drift:\nplain:    %+v\nobserved: %+v", as, bs)
+	}
+	if a.Cycle() != b.Cycle() {
+		t.Errorf("cycle drift: plain %d, observed %d", a.Cycle(), b.Cycle())
+	}
+	for id := 0; id < a.Mesh().Nodes(); id++ {
+		if ae, be := a.RouterEvents(id), b.RouterEvents(id); !reflect.DeepEqual(ae, be) {
+			t.Errorf("router %d event drift:\nplain:    %+v\nobserved: %+v", id, ae, be)
+		}
+	}
+	if len(aPkts) != len(bPkts) {
+		t.Fatalf("packet count drift: plain %d, observed %d", len(aPkts), len(bPkts))
+	}
+	for i := range aPkts {
+		p, q := aPkts[i], bPkts[i]
+		if p.ID != q.ID || p.Src != q.Src || p.Dst != q.Dst ||
+			p.CreatedAt != q.CreatedAt || p.InjectedAt != q.InjectedAt || p.EjectedAt != q.EjectedAt {
+			t.Errorf("packet %d timestamp drift:\nplain:    %+v\nobserved: %+v", i, *p, *q)
+		}
+	}
+	if an, bn := a.Snapshot(), b.Snapshot(); an != bn {
+		t.Errorf("state snapshot drift:\nplain:\n%s\nobserved:\n%s", an, bn)
+	}
+}
+
+// TestObserverZeroDrift runs every equivalence configuration twice — bare and
+// with a collector attached — and requires bit-identical results, then
+// cross-checks the collector's own series against the network's statistics
+// (flit conservation per telemetry window).
+func TestObserverZeroDrift(t *testing.T) {
+	for _, c := range equivCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			plain, plainNodes, _ := buildEquiv(t, c, false)
+			observed, obsNodes, _ := buildEquiv(t, c, false)
+			rec := newTestRecorder(t, observed.Config(), 250)
+			col := rec.Attach(observed, c.name)
+
+			plainPkts := driveEquiv(t, plain, c, plainNodes)
+			obsPkts := driveEquiv(t, observed, c, obsNodes)
+			compareNets(t, plain, observed, plainPkts, obsPkts)
+
+			col.Finish()
+			samples := col.Samples()
+			if len(samples) == 0 {
+				t.Fatal("collector recorded no samples")
+			}
+			var inj, ej, drop int64
+			prev := int64(0)
+			for i, s := range samples {
+				if s.Cycle <= prev && i > 0 {
+					t.Errorf("sample %d: cycle %d not increasing (prev %d)", i, s.Cycle, prev)
+				}
+				prev = s.Cycle
+				inj += s.InjectedFlits
+				ej += s.EjectedFlits
+				drop += s.DroppedFlits
+			}
+			st := observed.Stats()
+			if inj != st.FlitsInjected {
+				t.Errorf("telemetry injected flits %d != network %d", inj, st.FlitsInjected)
+			}
+			if ej != st.FlitsEjected {
+				t.Errorf("telemetry ejected flits %d != network %d", ej, st.FlitsEjected)
+			}
+			if drop != st.FlitsDropped {
+				t.Errorf("telemetry dropped flits %d != network %d", drop, st.FlitsDropped)
+			}
+		})
+	}
+}
+
+// TestObserverToggleMidRun attaches and detaches a collector mid-run: the
+// run must stay bit-identical to an unobserved one, and the late collector's
+// partial series must account exactly for the cycles it observed.
+func TestObserverToggleMidRun(t *testing.T) {
+	c := equivCases[1] // region-4x4-level4
+	plain, plainNodes, _ := buildEquiv(t, c, false)
+	toggled, togNodes, _ := buildEquiv(t, c, false)
+	rec := newTestRecorder(t, toggled.Config(), 100)
+
+	set := traffic.NewSet(togNodes)
+	pattern := traffic.NewUniform(set.Size())
+	pktProb := c.rate / float64(toggled.Config().PacketLength)
+	const seed = 97
+	var col *obs.Collector
+	for _, run := range []struct {
+		net    *noc.Network
+		nodes  []int
+		toggle bool
+	}{{plain, plainNodes, false}, {toggled, togNodes, true}} {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < c.cycles; i++ {
+			if run.toggle {
+				switch i {
+				case c.cycles / 4:
+					col = rec.Attach(run.net, "mid-run")
+				case 3 * c.cycles / 4:
+					run.net.SetObserver(nil)
+				}
+			}
+			for _, src := range run.nodes {
+				if rng.Float64() < pktProb {
+					run.net.Enqueue(src, set.PickNode(pattern, src, rng))
+				}
+			}
+			run.net.Step()
+		}
+		if err := run.net.DrainWithBudget(50000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareNets(t, plain, toggled, nil, nil)
+
+	col.Finish()
+	var observed int64
+	for _, s := range col.Samples() {
+		observed += s.Window
+	}
+	// The collector saw exactly the cycles between attach and detach.
+	if want := int64(3*c.cycles/4 - c.cycles/4); observed != want {
+		t.Errorf("mid-run collector observed %d cycles, want %d", observed, want)
+	}
+}
+
+// TestStepZeroAllocSteadyStateWithObs is the TestStepZeroAllocSteadyState
+// variant the telemetry layer must keep honest: with a collector (power model
+// included) attached and sampling every 100 cycles, steady-state Step still
+// allocates nothing — samples append into preallocated flat buffers and the
+// power total uses the alloc-free NetworkPowerTotal.
+func TestStepZeroAllocSteadyStateWithObs(t *testing.T) {
+	for _, c := range []equivCase{
+		{name: "dark-8x8", width: 8, height: 8, level: 4, rate: 0.15},
+		{name: "full-4x4", width: 4, height: 4, rate: 0.2},
+	} {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			net, nodes, _ := buildEquiv(t, c, false)
+			net.SetChecker(nil) // the checker's periodic sweeps allocate
+			rec := newTestRecorder(t, net.Config(), 100)
+			rec.Attach(net, c.name)
+			rng := rand.New(rand.NewSource(3))
+			set := traffic.NewSet(nodes)
+			pattern := traffic.NewUniform(set.Size())
+			pktProb := c.rate / float64(net.Config().PacketLength)
+			tick := func() {
+				for _, src := range nodes {
+					if rng.Float64() < pktProb {
+						net.Enqueue(src, set.PickNode(pattern, src, rng))
+					}
+				}
+				net.Step()
+			}
+			for i := 0; i < 2000; i++ { // grow event buffers to steady state
+				tick()
+			}
+			allocs := testing.AllocsPerRun(200, func() { net.Step() })
+			if allocs != 0 {
+				t.Errorf("steady-state Step with collector allocates %.1f objects/cycle, want 0", allocs)
+			}
+		})
+	}
+}

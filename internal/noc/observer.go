@@ -1,0 +1,42 @@
+package noc
+
+// Observer receives simulator telemetry callbacks (see internal/obs for the
+// implementation). It follows the Checker contract exactly: all hooks run
+// synchronously inside Step, must not mutate the network, and a nil observer
+// costs one pointer comparison per event, so the hot path is unaffected when
+// telemetry is off. Checker and Observer are independent fields, so invariant
+// checking and telemetry can be attached to the same network simultaneously.
+type Observer interface {
+	// FlitInjected fires when the NI at node issues flit seq of pkt toward
+	// its router's Local input port (seq 0 marks a new packet entering).
+	FlitInjected(n *Network, node int, pkt *Packet, seq int)
+	// FlitEjected fires when a flit of pkt leaves the network at node; tail
+	// marks packet completion. dropped reports a reconfiguration black-hole
+	// drop at a retiring node instead of a delivery.
+	FlitEjected(n *Network, node int, pkt *Packet, tail, dropped bool)
+	// CycleEnd fires at the end of every Step, after all pipeline stages and
+	// after the checker's own CycleEnd.
+	CycleEnd(n *Network, cycle int64)
+}
+
+// SetObserver attaches (or, with nil, detaches) a telemetry observer. Like
+// the checker, the observer is purely observational: attaching one never
+// changes simulation results.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// Observer returns the attached telemetry observer, or nil.
+func (n *Network) Observer() Observer { return n.obs }
+
+// BufferedFlits returns the number of flits currently held in the input
+// buffers of powered routers. It is O(routers), allocation-free, and meant
+// for sample-boundary polling (queue-depth telemetry), not the per-cycle hot
+// path.
+func (n *Network) BufferedFlits() int64 {
+	var total int64
+	for _, r := range n.routers {
+		if r.active {
+			total += int64(r.occupancy())
+		}
+	}
+	return total
+}

@@ -185,6 +185,13 @@ func (n *Network) Reconfigure(activeNodes []int, alg routing.Algorithm, drainBud
 			n.stats.PacketsDropped++
 			n.stats.FlitsDropped += int64(pkt.Length)
 			n.classDropped[pkt.Class] += int64(pkt.Length)
+			if n.obs != nil {
+				// Telemetry counts drops per flit; a source-queued packet
+				// discards all of its flits at once.
+				for s := 0; s < pkt.Length; s++ {
+					n.obs.FlitEjected(n, pkt.Src, pkt, s == pkt.Length-1, true)
+				}
+			}
 		}
 		for i := k; i < len(nic.queue); i++ {
 			nic.queue[i] = nil

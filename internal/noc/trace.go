@@ -3,9 +3,11 @@ package noc
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 
 	"nocsprint/internal/traffic"
 )
@@ -36,6 +38,23 @@ func WriteTrace(w io.Writer, events []TraceEvent) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// WriteTraceFile writes events to the named file as JSON lines. WriteTrace
+// buffers through bufio, so on a plain os.File a short write can surface only
+// when the kernel's page cache drains at Close — an error path a caller that
+// checks WriteTrace but discards Close silently loses. WriteTraceFile owns
+// the whole file lifetime and joins the write/flush error with the Close
+// error, so every failure mode is observable in the single returned error.
+func WriteTraceFile(path string, events []TraceEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("noc: creating trace file: %w", err)
+	}
+	if err := errors.Join(WriteTrace(f, events), f.Close()); err != nil {
+		return fmt.Errorf("noc: writing trace file %s: %w", path, err)
+	}
+	return nil
 }
 
 // ReadTrace parses a JSON-lines trace and validates cycle monotonicity.

@@ -2,6 +2,10 @@ package noc
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -31,6 +35,78 @@ func TestTraceRoundTrip(t *testing.T) {
 		if got[i] != events[i] {
 			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
 		}
+	}
+}
+
+// failingWriter accepts writes until fail, then errors — it models a device
+// that runs out of space after the bufio buffer has absorbed the early data,
+// so the failure only surfaces at Flush time.
+type failingWriter struct {
+	n    int
+	fail int
+}
+
+var errDeviceFull = errors.New("device full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.fail {
+		short := w.fail - w.n
+		if short < 0 {
+			short = 0
+		}
+		w.n = w.fail
+		return short, errDeviceFull
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// TestWriteTraceSurfacesFlushError pins the regression: a short write that
+// the bufio layer only discovers at Flush must propagate out of WriteTrace,
+// not vanish.
+func TestWriteTraceSurfacesFlushError(t *testing.T) {
+	events := make([]TraceEvent, 64)
+	for i := range events {
+		events[i] = TraceEvent{Cycle: int64(i), Src: 0, Dst: 1}
+	}
+	// Fail after 10 bytes: far less than one bufio buffer, so every Encode
+	// succeeds into the buffer and only Flush hits the device.
+	err := WriteTrace(&failingWriter{fail: 10}, events)
+	if !errors.Is(err, errDeviceFull) {
+		t.Fatalf("WriteTrace error = %v, want wrapped errDeviceFull", err)
+	}
+}
+
+func TestWriteTraceFileRoundTrip(t *testing.T) {
+	events := []TraceEvent{{Cycle: 0, Src: 1, Dst: 2}, {Cycle: 3, Src: 2, Dst: 1, Class: 1}}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := WriteTraceFile(path, events); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) || got[0] != events[0] || got[1] != events[1] {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, events)
+	}
+}
+
+func TestWriteTraceFileSurfacesDeviceErrors(t *testing.T) {
+	if _, err := os.Stat("/dev/full"); err != nil || runtime.GOOS != "linux" {
+		t.Skip("needs /dev/full")
+	}
+	events := []TraceEvent{{Cycle: 0, Src: 0, Dst: 1}}
+	if err := WriteTraceFile("/dev/full", events); err == nil {
+		t.Fatal("write to /dev/full reported success")
+	}
+	if err := WriteTraceFile(filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl"), events); err == nil {
+		t.Fatal("create under missing directory reported success")
 	}
 }
 

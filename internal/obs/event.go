@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind classifies timeline events. Kinds serialize as their stable text
+// names (MarshalText/UnmarshalText), so JSONL timelines survive reordering
+// of this enum and unknown names fail decoding loudly.
+type EventKind uint8
+
+// Timeline event kinds.
+const (
+	// EventSprintLevel marks a sprint-level change (the detail carries the
+	// old and new level).
+	EventSprintLevel EventKind = iota
+	// EventRepair through EventDeclaredDead mirror the governor's event log
+	// (sprint.GovernorEventKind) one to one.
+	EventRepair
+	EventMasterElection
+	EventDegrade
+	EventResumeScheduled
+	EventResumeFailed
+	EventResumed
+	EventDeclaredDead
+	// EventFault marks a scheduled fault arriving at the fabric.
+	EventFault
+	// EventThermalTrip/EventThermalClear bracket a thermal-trip assertion of
+	// the collector's RC model (distinct from schedule-driven trip faults,
+	// which arrive as EventFault).
+	EventThermalTrip
+	EventThermalClear
+	// EventQuiesce/EventDrained bracket a reconfiguration: traffic pauses at
+	// quiesce and the fabric has emptied (or exhausted its budget) at
+	// drained.
+	EventQuiesce
+	EventDrained
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	EventSprintLevel:     "sprint-level",
+	EventRepair:          "repair",
+	EventMasterElection:  "master-election",
+	EventDegrade:         "degrade",
+	EventResumeScheduled: "resume-scheduled",
+	EventResumeFailed:    "resume-failed",
+	EventResumed:         "resumed",
+	EventDeclaredDead:    "declared-dead",
+	EventFault:           "fault",
+	EventThermalTrip:     "thermal-trip",
+	EventThermalClear:    "thermal-clear",
+	EventQuiesce:         "quiesce",
+	EventDrained:         "drained",
+}
+
+// String returns the kind's stable text name.
+func (k EventKind) String() string {
+	if k < numEventKinds {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// MarshalText serializes the kind name; unknown kinds are an error rather
+// than a silently-decodable number.
+func (k EventKind) MarshalText() ([]byte, error) {
+	if k >= numEventKinds {
+		return nil, fmt.Errorf("obs: unknown event kind %d", uint8(k))
+	}
+	return []byte(eventKindNames[k]), nil
+}
+
+// UnmarshalText parses a kind name, strictly.
+func (k *EventKind) UnmarshalText(text []byte) error {
+	for i, name := range eventKindNames {
+		if string(text) == name {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", text)
+}
+
+// Event is one entry of the typed timeline.
+type Event struct {
+	// Cycle stamps when the event happened, on the emitter's cycle clock.
+	Cycle int64 `json:"cycle"`
+	// Kind classifies the event.
+	Kind EventKind `json:"kind"`
+	// Node is the affected node, or -1 for chip-wide events.
+	Node int `json:"node"`
+	// Detail is free-form context (fault text form, repair summary, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// EncodeEvents writes events as JSONL, one event object per line, buffering
+// and flushing like noc.WriteTrace.
+func EncodeEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: writing event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeEvents parses a JSONL event timeline, strictly: every non-empty line
+// must be exactly one event object with no unknown fields, no trailing
+// garbage, and a known kind name. It never panics on arbitrary input (a fuzz
+// target pins this) and names the offending line in errors.
+func DecodeEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("obs: event line %d: %w", lineNo, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("obs: event line %d: trailing data after event", lineNo)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return out, nil
+}

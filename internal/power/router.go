@@ -260,6 +260,43 @@ func (p RouterParams) NetworkPower(events noc.Events, cycles int64, activeRouter
 	return b, nil
 }
 
+// NetworkPowerTotal returns NetworkPower(...).Total() without allocating:
+// the telemetry sampler calls it at interval boundaries inside the simulator
+// hot path, where building the map-based Breakdown would break the
+// zero-allocation steady-state guarantee. The arithmetic mirrors RouterPower
+// and NetworkPower term by term, in the same association order Breakdown's
+// fixed-enum-order sums use, so the result is bit-identical to
+// NetworkPower(...).Total() (a unit test pins this).
+func (p RouterParams) NetworkPowerTotal(events noc.Events, cycles int64, activeRouters int, corner Corner) (float64, error) {
+	if activeRouters < 0 {
+		return 0, fmt.Errorf("power: negative router count %d", activeRouters)
+	}
+	if err := corner.Validate(); err != nil {
+		return 0, err
+	}
+	if cycles <= 0 {
+		return 0, fmt.Errorf("power: non-positive cycle count %d", cycles)
+	}
+	ds, ls := p.dynScale(corner), p.leakScale(corner)
+	seconds := float64(cycles) / corner.FreqHz
+	ar := float64(activeRouters)
+
+	var dyn float64
+	dyn += ds * (float64(events.BufferWrites)*p.EBufferWrite + float64(events.BufferReads)*p.EBufferRead) / seconds
+	dyn += ds * float64(events.XbarTraversals) * p.EXbar / seconds
+	dyn += ds * float64(events.SAGrants+events.VAGrants) * p.EArb / seconds
+	dyn += ds * float64(cycles) * p.EClock / seconds * ar
+	dyn += ds * float64(events.LinkFlits) * p.ELink / seconds
+
+	var leak float64
+	leak += ls * p.LeakBuffer * ar
+	leak += ls * p.LeakXbar * ar
+	leak += ls * p.LeakArb * ar
+	leak += ls * p.LeakClock * ar
+	leak += ls * p.LeakLink * ar
+	return dyn + leak, nil
+}
+
 // SyntheticRouterEvents returns the per-cycle event profile of one router
 // forwarding traffic at the given flit arrival rate (flits/cycle), as used
 // for the standalone Figure 2 experiment: every flit is written, read,

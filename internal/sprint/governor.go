@@ -141,6 +141,10 @@ type GovernorConfig struct {
 	// The governor shrinks the level until a candidate passes; a one-node
 	// region must always validate.
 	Validate func(*Region) error
+	// OnEvent, when non-nil, is called synchronously with every decision as
+	// it is appended to the log — telemetry timelines subscribe here. The
+	// callback must not call back into the governor.
+	OnEvent func(GovernorEvent)
 }
 
 // DefaultGovernorConfig returns the default repair policy: three resume
@@ -231,9 +235,13 @@ func (g *Governor) CountEvents(kind GovernorEventKind) int {
 func (g *Governor) alive(id int) bool { return !g.down[id] }
 
 func (g *Governor) log(cycle int64, kind GovernorEventKind, node int, detail string) {
-	g.events = append(g.events, GovernorEvent{
+	ev := GovernorEvent{
 		Cycle: cycle, Kind: kind, Node: node, Level: g.region.Level(), Master: g.master, Detail: detail,
-	})
+	}
+	g.events = append(g.events, ev)
+	if g.cfg.OnEvent != nil {
+		g.cfg.OnEvent(ev)
+	}
 }
 
 // backoff returns the capped exponential delay for the given attempt count.
