@@ -24,7 +24,7 @@ import (
 	"math"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux for -http
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -208,16 +208,37 @@ func execute(exp string, o options) error {
 	o.ctx, o.abort = sweepCtx, abortCtx
 
 	if o.httpAddr != "" {
-		// The default mux already carries expvar's /debug/vars and (via the
-		// blank import) net/http/pprof's /debug/pprof; sweep drivers feed the
+		// A dedicated mux carrying exactly the monitoring surface — expvar's
+		// /debug/vars and pprof's /debug/pprof — so nothing else registered on
+		// the default mux can leak onto this listener. Sweep drivers feed the
 		// sweep_done/sweep_total counters through NetSimParams.Progress.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// WriteTimeout stays unset: pprof profile/trace stream for a
+		// client-chosen duration and would be cut off by one.
+		httpSrv := &http.Server{
+			Handler:           mux,
+			ReadTimeout:       30 * time.Second,
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       time.Minute,
+			MaxHeaderBytes:    64 << 10,
+		}
 		ln, err := net.Listen("tcp", o.httpAddr)
 		if err != nil {
 			return fmt.Errorf("-http %s: %w", o.httpAddr, err)
 		}
-		defer ln.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(ctx)
+		}()
 		fmt.Fprintf(os.Stderr, "nocsprint: monitoring on http://%s/debug/vars (pprof at /debug/pprof)\n", ln.Addr())
-		go func() { _ = http.Serve(ln, nil) }()
+		go func() { _ = httpSrv.Serve(ln) }()
 		o.progress = func(done, total int) {
 			sweepDone.Set(int64(done))
 			sweepTotal.Set(int64(total))

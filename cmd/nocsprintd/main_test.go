@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8089" || o.state != "nocsprintd-state" || o.queueCap != 16 ||
+		o.concurrency != 1 || o.retryAttempts != 3 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.retryBase != 100*time.Millisecond || o.retryMax != 5*time.Second ||
+		o.abortGrace != 30*time.Second || o.drainTimeout != 2*time.Minute {
+		t.Errorf("duration defaults = %+v", o)
+	}
+}
+
+func TestParseArgsOverrides(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-addr", "127.0.0.1:0", "-state", "/tmp/s", "-queue", "4",
+		"-concurrency", "2", "-job-timeout", "10m", "-retry-attempts", "1",
+		"-max-body", "4096",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:0" || o.queueCap != 4 || o.concurrency != 2 ||
+		o.jobTimeout != 10*time.Minute || o.retryAttempts != 1 || o.maxBody != 4096 {
+		t.Errorf("overrides lost: %+v", o)
+	}
+}
+
+func TestParseArgsRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"zero queue", []string{"-queue", "0"}, "-queue"},
+		{"zero concurrency", []string{"-concurrency", "0"}, "-concurrency"},
+		{"zero retry budget", []string{"-retry-attempts", "0"}, "-retry-attempts"},
+		{"negative timeout", []string{"-job-timeout", "-1s"}, "durations"},
+		{"zero body limit", []string{"-max-body", "0"}, "-max-body"},
+		{"positional argument", []string{"stray"}, "unexpected argument"},
+		{"unknown flag", []string{"-bogus"}, "bogus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseArgs(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

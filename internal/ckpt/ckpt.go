@@ -168,9 +168,45 @@ type Journal struct {
 	path string
 }
 
+// RemoveOrphanTemps deletes stale snapshot temp files from dir: a kill -9
+// (or power loss) between WriteSnapshot's CreateTemp and its rename leaves a
+// `.<name>.tmp-*` file behind that no one will ever rename or reuse — its
+// random suffix is gone with the dead process. Journal Open/Create sweep
+// their directory through this, so a crash-restart cycle cannot accumulate
+// partial files next to the live journal and snapshots. Only files matching
+// the exact temp-name shape are touched; removal errors other than "already
+// gone" are reported (the first one), after attempting every candidate.
+// It returns the number of files removed.
+func RemoveOrphanTemps(dir string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, ".*.tmp-*"))
+	if err != nil {
+		// The pattern is constant and valid; Glob only errors on bad
+		// patterns, but keep the error path honest.
+		return 0, fmt.Errorf("ckpt: scanning %s for orphan temp files: %w", dir, err)
+	}
+	removed := 0
+	var firstErr error
+	for _, m := range matches {
+		if fi, err := os.Lstat(m); err != nil || fi.IsDir() {
+			continue // races with a concurrent writer or an odd directory: leave it
+		}
+		switch err := os.Remove(m); {
+		case err == nil:
+			removed++
+		case !os.IsNotExist(err) && firstErr == nil:
+			firstErr = fmt.Errorf("ckpt: removing orphan temp file %s: %w", m, err)
+		}
+	}
+	return removed, firstErr
+}
+
 // Create starts a fresh journal at path, truncating any existing file, and
-// writes the versioned header.
+// writes the versioned header. Orphaned snapshot temp files in the
+// journal's directory (left by a crash mid-rename) are removed first.
 func Create(path string) (*Journal, error) {
+	if _, err := RemoveOrphanTemps(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: creating journal: %w", err)
@@ -189,8 +225,13 @@ func Create(path string) (*Journal, error) {
 // Open loads an existing journal for resume: it decodes every record —
 // rejecting the whole file with a descriptive error if any record is torn,
 // corrupt, duplicated, or from another version — and reopens the file for
-// appending.
+// appending. Orphaned snapshot temp files in the journal's directory (left
+// by a kill -9 between a snapshot's temp write and its rename) are removed
+// first, so a crashed run's debris never survives a restart.
 func Open(path string) (*Journal, error) {
+	if _, err := RemoveOrphanTemps(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: reading journal: %w", err)

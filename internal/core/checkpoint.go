@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+
 	"nocsprint/internal/ckpt"
+	"nocsprint/internal/runner"
 )
 
 // Sweep checkpointing: every parallel sweep driver funnels its points
@@ -30,4 +33,24 @@ func pointKey(driver string, cfg, point any, sim NetSimParams) (string, error) {
 		Seed                   int64
 		Point                  any
 	}{driver, cfg, sim.Warmup, sim.Measure, sim.Drain, sim.Seed, point})
+}
+
+// runPoints is the single funnel every sweep driver pushes its points
+// through: journal-aware execution (skip journaled points, fsync fresh
+// ones) over the cancellable worker pool, with the point-level retry
+// policy applied when one is configured. Retry wraps the point function
+// inside the pool worker, so the pool's panic recovery stays outermost — a
+// recovered panic reaches the retry classifier as a runner.PointError (and
+// sane classifiers reject it as permanent), while transient errors are
+// re-attempted without the journal or the pool ever seeing them.
+func runPoints[R any](sim NetSimParams, keys []string, fn func(ctx context.Context, i int) (R, error)) ([]R, error) {
+	if p := sim.Retry; p != nil {
+		inner := fn
+		fn = func(ctx context.Context, i int) (R, error) {
+			return runner.Retry(ctx, *p, func(ctx context.Context) (R, error) {
+				return inner(ctx, i)
+			})
+		}
+	}
+	return ckpt.Run(sim.sweepCtx(), sim.Journal, keys, sim.Workers, fn, sim.Progress)
 }

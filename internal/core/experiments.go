@@ -242,7 +242,7 @@ func Fig9Fig10Network(s *Sprinter, sp NetSimParams) (NetResult, error) {
 			return NetResult{}, err
 		}
 	}
-	rows, err := ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (NetRow, error) {
+	rows, err := runPoints(sp, keys, func(_ context.Context, i int) (NetRow, error) {
 		tk := tasks[i]
 		sim := sp
 		sim.Seed = int64(1000 + tk.idx)
@@ -262,7 +262,7 @@ func Fig9Fig10Network(s *Sprinter, sp NetSimParams) (NetResult, error) {
 			PowerFull:   full.NetPower.Total(),
 			PowerNoC:    nocs.NetPower.Total(),
 		}, nil
-	}, sp.Progress)
+	})
 	if err != nil {
 		return NetResult{}, err
 	}
@@ -356,11 +356,11 @@ func Fig11Sweep(s *Sprinter, levels []int, params Fig11Params) ([]Fig11Series, e
 			return nil, err
 		}
 	}
-	points, err := ckpt.Run(params.Sim.sweepCtx(), params.Sim.Journal, keys, params.Sim.Workers,
+	points, err := runPoints(params.Sim, keys,
 		func(_ context.Context, i int) (Fig11Point, error) {
 			tk := tasks[i]
 			return fig11Point(s, tk.level, tk.ri, tk.rate, params)
-		}, params.Sim.Progress)
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -884,7 +884,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 			return nil, err
 		}
 	}
-	return ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (ScaleRow, error) {
+	return runPoints(sp, keys, func(_ context.Context, i int) (ScaleRow, error) {
 		wi, w := tasks[i].wi, tasks[i].w
 		cfg := noc.DefaultConfig()
 		cfg.Width, cfg.Height = w, w
@@ -947,7 +947,7 @@ func ScalingStudy(widths []int, sp NetSimParams) ([]ScaleRow, error) {
 			LatencyCut:      1 - res.AvgLatency/fres.AvgLatency,
 			PowerSaving:     1 - nb.Total()/fb.Total(),
 		}, nil
-	}, sp.Progress)
+	})
 }
 
 // SensitivityRow is one router configuration of the microarchitecture
@@ -989,9 +989,9 @@ func SensitivitySweep(sp NetSimParams) ([]SensitivityRow, error) {
 			return nil, err
 		}
 	}
-	return ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (SensitivityRow, error) {
+	return runPoints(sp, keys, func(_ context.Context, i int) (SensitivityRow, error) {
 		return SensitivityPoint(tasks[i].vcs, tasks[i].depth, sp)
-	}, sp.Progress)
+	})
 }
 
 // SensitivityPoint evaluates one router configuration (VC count, buffer
@@ -1094,7 +1094,7 @@ func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string, sp NetSimPa
 			return nil, err
 		}
 	}
-	return ckpt.Run(sp.sweepCtx(), sp.Journal, keys, sp.Workers, func(_ context.Context, i int) (DimDarkPoint, error) {
+	return runPoints(sp, keys, func(_ context.Context, i int) (DimDarkPoint, error) {
 		tk := tasks[i]
 		p, err := workload.ByName(tk.name)
 		if err != nil {
@@ -1126,7 +1126,7 @@ func DimVsDark(s *Sprinter, budgetsW []float64, benchmarks []string, sp NetSimPa
 		}
 		pt.DimWins = pt.DimPerf > pt.DarkPerf
 		return pt, nil
-	}, sp.Progress)
+	})
 }
 
 // LLCRow is one configuration of the §3.4 last-level-cache study.

@@ -476,7 +476,7 @@ func FaultSweep(s *Sprinter, p FaultParams) ([]FaultPoint, error) {
 			return nil, err
 		}
 	}
-	return ckpt.Run(p.Sim.sweepCtx(), p.Sim.Journal, keys, p.Sim.Workers, func(_ context.Context, i int) (FaultPoint, error) {
+	return runPoints(p.Sim, keys, func(_ context.Context, i int) (FaultPoint, error) {
 		tk := tasks[i]
 		seed := p.Sim.Seed + int64(tk.idx)*1009 + 1
 		sched, err := s.buildFaultSchedule(tk.rate, p, seed)
@@ -489,5 +489,5 @@ func FaultSweep(s *Sprinter, p FaultParams) ([]FaultPoint, error) {
 		}
 		pt.Rate = tk.rate
 		return pt, nil
-	}, p.Sim.Progress)
+	})
 }

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMapCtxPanicIsolated is the regression test for panic recovery: one
+// panicking point must surface as a *PointError instead of crashing the
+// process, and the other workers' in-flight results must survive.
+func TestMapCtxPanicIsolated(t *testing.T) {
+	const n = 4
+	points := []int{0, 1, 2, 3}
+	// A barrier ensures all n points are in flight simultaneously before
+	// any of them proceeds, so the panic cannot prevent siblings from
+	// starting: their results exist if and only if recovery keeps the pool
+	// alive.
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	out, done, err := MapCtx(context.Background(), points, n, func(_ context.Context, p int) (int, error) {
+		barrier.Done()
+		barrier.Wait()
+		if p == 2 {
+			panic("boom at point 2")
+		}
+		return p * 10, nil
+	})
+	if err == nil {
+		t.Fatal("MapCtx returned nil error despite a panicking point")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not unwrap to *PointError", err)
+	}
+	if pe.Index != 2 {
+		t.Errorf("PointError.Index = %d, want 2", pe.Index)
+	}
+	if pe.Value != "boom at point 2" {
+		t.Errorf("PointError.Value = %v, want the panic value", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "runner") {
+		t.Errorf("PointError.Stack does not look like a stack trace: %q", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "point 2 panicked") {
+		t.Errorf("error text %q does not name the panicking point", err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if !done[i] {
+			t.Errorf("sibling point %d was lost to the panic (done=false)", i)
+		}
+		if out[i] != i*10 {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], i*10)
+		}
+	}
+	if done[2] {
+		t.Error("panicking point reported done")
+	}
+}
+
+// TestMapSerialPanicRecovered covers the workers==1 path, which runs on the
+// calling goroutine: the panic must still become an error, not unwind the
+// caller, and earlier completed points must be kept.
+func TestMapSerialPanicRecovered(t *testing.T) {
+	out, done, err := MapCtx(context.Background(), []int{0, 1, 2}, 1, func(_ context.Context, p int) (int, error) {
+		if p == 1 {
+			panic(errors.New("typed panic"))
+		}
+		return p + 100, nil
+	})
+	var pe *PointError
+	if !errors.As(err, &pe) || pe.Index != 1 {
+		t.Fatalf("want *PointError for point 1, got %v", err)
+	}
+	if !done[0] || out[0] != 100 {
+		t.Errorf("point 0 result lost: done=%v out=%d", done[0], out[0])
+	}
+	if done[1] || done[2] {
+		t.Errorf("points at and after the panic must not be done: %v", done)
+	}
+}

@@ -11,9 +11,39 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PointError reports a sweep point whose function panicked. The worker pool
+// converts the panic into this error instead of letting it unwind the
+// worker goroutine (which would kill the whole process and discard every
+// sibling worker's completed results). Value is the recovered panic value
+// and Stack the panicking goroutine's stack at recovery time.
+//
+// A panic is a programming error in the point function, not a transient
+// condition, so retry classifiers should treat a PointError as permanent.
+type PointError struct {
+	Index int    // index of the point whose fn panicked
+	Value any    // value recovered from the panic
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PointError) Error() string {
+	return fmt.Sprintf("point %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// safeCall runs fn for point i, converting a panic into a *PointError so a
+// single bad point cannot unwind a pool worker.
+func safeCall[P, R any](ctx context.Context, fn func(context.Context, P) (R, error), i int, p P) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PointError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, p)
+}
 
 // Workers resolves a worker-count knob: n <= 0 selects GOMAXPROCS (use all
 // cores), any positive n is taken literally. 1 means legacy serial
@@ -47,6 +77,11 @@ func Workers(n int) int {
 // combined error is deterministic for a deterministic fn), each wrapped
 // with its point index. out and done still describe the points that did
 // complete: partial progress is returned, never discarded.
+//
+// Panics: a panicking fn does not crash the pool. The panic is recovered
+// inside the worker and reported as a *PointError (point index, recovered
+// value, stack) with the same partial-progress semantics as any other point
+// failure — sibling points already in flight finish and keep their results.
 func MapCtx[P, R any](ctx context.Context, points []P, workers int, fn func(context.Context, P) (R, error)) ([]R, []bool, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -66,7 +101,7 @@ func MapCtx[P, R any](ctx context.Context, points []P, workers int, fn func(cont
 			if ctx.Err() != nil {
 				break
 			}
-			r, err := fn(ctx, p)
+			r, err := safeCall(ctx, fn, i, p)
 			if err != nil {
 				errs[i] = err
 				break
@@ -96,7 +131,7 @@ func MapCtx[P, R any](ctx context.Context, points []P, workers int, fn func(cont
 					if failed.Load() || ctx.Err() != nil {
 						return
 					}
-					r, err := fn(ctx, points[i])
+					r, err := safeCall(ctx, fn, i, points[i])
 					if err != nil {
 						errs[i] = err
 						failed.Store(true)

@@ -129,11 +129,20 @@ func TestMapStopsClaimingAfterFailure(t *testing.T) {
 }
 
 func TestMapSerialRunsOnCallingGoroutine(t *testing.T) {
-	// workers=1 must not spawn goroutines: panics propagate directly.
-	defer func() {
-		if recover() == nil {
-			t.Fatal("panic did not propagate from serial Map")
-		}
-	}()
-	Map([]int{1}, 1, func(int) (int, error) { panic("direct") })
+	// workers=1 must not spawn goroutines: fn observes the caller's
+	// goroutine id. (Panics no longer distinguish the paths — they are
+	// recovered into *PointError on both; see panic_test.go.)
+	gid := func() string {
+		buf := make([]byte, 64)
+		n := runtime.Stack(buf, false)
+		return strings.Fields(string(buf[:n]))[1] // "goroutine <id> [...]"
+	}
+	caller := gid()
+	var inFn string
+	if _, err := Map([]int{1}, 1, func(int) (int, error) { inFn = gid(); return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if inFn != caller {
+		t.Errorf("serial Map ran fn on goroutine %s, caller is %s", inFn, caller)
+	}
 }

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	// StateQueued: admitted, persisted, waiting for an executor. Jobs
+	// recovered after a crash or drain re-enter this state and resume
+	// from their checkpoint journal.
+	StateQueued JobState = "queued"
+	// StateRunning: an executor is computing sweep points (journaling each
+	// as it completes).
+	StateRunning JobState = "running"
+	// StateDone: finished; the result is persisted and served.
+	StateDone JobState = "done"
+	// StateFailed: finished with a permanent error (or an exhausted retry
+	// budget, or an expired deadline).
+	StateFailed JobState = "failed"
+	// StateCancelled: removed by DELETE before completing.
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// RetryEvent is one visible point-level retry: which attempt failed, the
+// jittered backoff slept before the next one, and the failure that
+// triggered it. Retries are recorded in the job, never silent.
+type RetryEvent struct {
+	Attempt int    `json:"attempt"`
+	Delay   string `json:"delay"`
+	Error   string `json:"error"`
+}
+
+// Job is one submitted sweep. The exported fields are persisted to the
+// job's state directory on every transition (atomic snapshot), so a
+// restarted server reconstructs the full job table.
+type Job struct {
+	ID      string       `json:"id"`
+	Spec    JobSpec      `json:"spec"`
+	State   JobState     `json:"state"`
+	Error   string       `json:"error,omitempty"`
+	Retries []RetryEvent `json:"retries,omitempty"`
+	Created time.Time    `json:"created"`
+	Started *time.Time   `json:"started,omitempty"`
+	Ended   *time.Time   `json:"ended,omitempty"`
+
+	// Runtime-only fields, not persisted.
+	result          json.RawMessage    // raw result bytes once done
+	cancelRun       context.CancelFunc // cancels the running sweep context
+	cancelRequested bool               // DELETE arrived while running
+}
+
+// view is the JSON shape served by GET /v1/jobs/{id}: the persisted record
+// plus the raw result when the job is done.
+type view struct {
+	Job
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (j *Job) view() view {
+	v := view{Job: *j}
+	v.Job.cancelRun = nil
+	if j.State == StateDone {
+		v.Result = j.result
+	}
+	// Copy the retries slice so a served view cannot race later appends.
+	v.Job.Retries = append([]RetryEvent(nil), j.Retries...)
+	return v
+}
