@@ -21,6 +21,7 @@ import (
 	"nocsprint/internal/routing"
 	"nocsprint/internal/sprint"
 	"nocsprint/internal/thermal"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 	"nocsprint/internal/workload"
 )
@@ -347,7 +348,7 @@ func BenchmarkAblationCDORvsDetour(b *testing.B) {
 		dark = 0
 		for _, src := range region.ActiveNodes() {
 			for _, dst := range region.ActiveNodes() {
-				path, err := routing.Path(m, dor, src, dst)
+				path, err := routing.Path(topo.FromMesh(m), dor, src, dst)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -356,7 +357,7 @@ func BenchmarkAblationCDORvsDetour(b *testing.B) {
 						dark++
 					}
 				}
-				if _, err := routing.Path(m, cdor, src, dst); err != nil {
+				if _, err := routing.Path(topo.FromMesh(m), cdor, src, dst); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -160,3 +160,43 @@ func TestGoldenFig11ReferenceStepper(t *testing.T) {
 	}
 	compareGolden(t, "fig11_fast.json", series)
 }
+
+// TestGoldenTopology pins the `topology -fast` comparison: zero-load
+// latency, saturation rate, and low-load power for the mesh, torus, and
+// ring-circulant candidates, checked and unchecked. The mesh row doubles as
+// a zero-drift witness for the topology abstraction: it runs through
+// noc.NewTopo and the generic port-indexed fabric, yet must keep producing
+// the numbers the pre-abstraction simulator did.
+func TestGoldenTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is too slow for -short")
+	}
+	s, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(check bool) []core.TopoRow {
+		rows, err := s.TopologyStudy(core.TopologyParams{
+			Rates: []float64{0.1, 0.3, 0.5, 0.7},
+			Sim:   goldenSim(check),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	plain := run(false)
+	compareGolden(t, "topology_fast.json", plain)
+
+	checked, err := json.Marshal(run(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainJSON, checked) {
+		t.Fatal("invariant checker perturbed the topology study results")
+	}
+}

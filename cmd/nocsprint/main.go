@@ -387,6 +387,7 @@ experiments:
   wires     extension: floorplan wire cost & SMART repeated wires (Sec 3.3)
   scale     extension: 4x4 / 6x6 / 8x8 mesh scaling study
   sensitivity extension: VC count & buffer depth sweep
+  topology  extension: mesh vs torus vs ring-circulant comparison
   dimdark   extension: dim silicon (more slow cores) vs dark (few fast)
   llc       extension: Sec 3.4 LLC policies — bypass paths vs home remap
   faults    extension: fault injection & online sprint-region repair
@@ -435,6 +436,8 @@ func run(name string, o options) error {
 		return scaleCmd(sim, o.fast)
 	case "sensitivity":
 		return sensitivityCmd(sim)
+	case "topology":
+		return topologyCmd(s, topologyParams(sim, o.fast))
 	case "dimdark":
 		return dimDarkCmd(s, sim)
 	case "llc":
@@ -871,6 +874,32 @@ func sensitivityCmd(sim core.NetSimParams) error {
 
 // runJSON emits the experiment's typed result as a JSON document with a
 // small metadata envelope, suitable for external plotting.
+// topologyParams maps the CLI options onto the topology comparison: -fast
+// walks a shorter rate ladder on top of the shrunk simulation windows.
+func topologyParams(sim core.NetSimParams, fast bool) core.TopologyParams {
+	p := core.TopologyParams{Sim: sim}
+	if fast {
+		p.Rates = []float64{0.1, 0.3, 0.5, 0.7}
+	}
+	return p
+}
+
+func topologyCmd(s *core.Sprinter, p core.TopologyParams) error {
+	header("Extension: topology comparison at matched router radix")
+	rows, err := s.TopologyStudy(p)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "topology\trouting\tnodes\tports\tbisection links\tzero-load lat (cyc)\tsaturation (flits/cyc/node)\tlow-load power (W)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.1f\t%.1f\t%.3f\n",
+			r.Spec, r.Routing, r.Nodes, r.Ports, r.BisectionLinks,
+			r.ZeroLoadLatency, r.SaturationRate, r.LowLoadPowerW)
+	}
+	return w.Flush()
+}
+
 func runJSON(name string, o options) error {
 	s, err := core.New(core.DefaultConfig())
 	if err != nil {
@@ -911,6 +940,8 @@ func runJSON(name string, o options) error {
 		result, err = core.ScalingStudy(widths, sim)
 	case "sensitivity":
 		result, err = core.SensitivitySweep(sim)
+	case "topology":
+		result, err = s.TopologyStudy(topologyParams(sim, o.fast))
 	case "dimdark":
 		result, err = core.DimVsDark(s, nil, nil, sim)
 	case "llc":

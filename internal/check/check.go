@@ -6,7 +6,11 @@
 //   - flit/packet conservation per message class (nothing created is lost),
 //   - credit accounting (credits bounded by buffer depth, never negative),
 //   - dark-router silence (power-gated routers see no traffic, §3.1),
-//   - CDOR region containment and X-then-Y hop monotonicity (Algorithm 2),
+//   - hop discipline against a route oracle: every observed hop must be
+//     exactly the port the intended routing algorithm (CDOR, DOR, torus DOR,
+//     ring-circulant, ...) would have chosen at that router — so the checker
+//     works on any topology and rejects, rather than silently skips, hops it
+//     cannot classify,
 //   - a livelock/deadlock watchdog that dumps a readable network snapshot
 //     when traffic stops making progress.
 //
@@ -18,9 +22,10 @@ package check
 import (
 	"fmt"
 
-	"nocsprint/internal/mesh"
 	"nocsprint/internal/noc"
+	"nocsprint/internal/routing"
 	"nocsprint/internal/sprint"
+	"nocsprint/internal/topo"
 )
 
 // Kind classifies invariant violations.
@@ -35,15 +40,16 @@ const (
 	// DarkRouter: a power-gated router saw traffic — a power-domain
 	// violation in the sprinting model.
 	DarkRouter
-	// RouteRule: a hop broke the routing discipline (CDOR region
-	// containment / X-then-Y monotonicity, or strict DOR order).
+	// RouteRule: a hop broke the routing discipline — it differed from the
+	// route oracle's decision, or the oracle could not classify it at all.
 	RouteRule
 	// Watchdog: no forward progress for the configured number of cycles
 	// while packets were in flight (deadlock or livelock).
 	Watchdog
 	// Structural: the network's internal consistency sweep
 	// (noc.CheckInvariants) failed — buffer bounds, VC states, or
-	// link-level credit conservation.
+	// link-level credit conservation — or a flit arrived through a port
+	// with no neighbour behind it.
 	Structural
 )
 
@@ -81,17 +87,29 @@ func (v *Violation) Error() string {
 	return fmt.Sprintf("check: cycle %d: %s violation: %s\n%s", v.Cycle, v.Kind, v.Detail, v.Snapshot)
 }
 
-// Config selects which routing discipline to enforce and tunes the sweeps.
+// RouteOracle answers "which output port should a packet at cur take toward
+// dst?" — the ground truth every observed hop is judged against. Any
+// routing.Algorithm is an oracle via Oracle. The oracle must be the
+// *intended* algorithm for the run; building it from a wrapped or
+// instrumented algorithm would make the checker agree with the very
+// misroutes it exists to catch.
+type RouteOracle func(cur, dst int) (int, error)
+
+// Oracle adapts a routing algorithm into a RouteOracle.
+func Oracle(alg routing.Algorithm) RouteOracle { return alg.NextPort }
+
+// Config selects which invariants to enforce and tunes the sweeps.
 type Config struct {
-	// Region, when set, enables the CDOR hop rules of Algorithm 2: every
-	// flit event must stay inside the region and each hop must be either
-	// X-monotone toward the destination, Y-monotone after X is resolved,
-	// or a vertical escape toward the master row taken only when the
-	// needed horizontal link is missing.
+	// Region, when set, enforces sprint-region containment: every flit
+	// event must happen at an active node of the region.
 	Region *sprint.Region
-	// DOR, when set (and Region is nil), enforces strict dimension-order
-	// discipline on the full mesh: X strictly monotone first, then Y.
-	DOR bool
+	// Oracle, when set, enforces hop discipline: every hop a flit takes
+	// must be exactly the port the oracle picks at the upstream router.
+	// A hop the oracle errors on is a violation, not a pass — unknown
+	// traffic is rejected, never silently skipped. Nil disables hop
+	// checking (containment, conservation, credits, and the watchdog still
+	// run).
+	Oracle RouteOracle
 	// Interval is the period, in cycles, of the O(network-size) sweeps
 	// (structural consistency and flit conservation). Per-event checks
 	// run every cycle regardless. Defaults to 16.
@@ -109,8 +127,7 @@ type Config struct {
 
 // Checker enforces the invariants; it implements noc.Checker.
 type Checker struct {
-	cfg     Config
-	masterY int
+	cfg Config
 
 	violations   int64
 	lastProgress int64
@@ -127,29 +144,25 @@ func New(cfg Config) *Checker {
 	if cfg.WatchdogCycles <= 0 {
 		cfg.WatchdogCycles = 2000
 	}
-	c := &Checker{cfg: cfg, lastProgress: -1}
-	if cfg.Region != nil {
-		c.masterY = cfg.Region.Mesh().Coord(cfg.Region.Master()).Y
-	}
-	return c
+	return &Checker{cfg: cfg, lastProgress: -1}
 }
 
 // Violations returns the number of violations reported so far (only ever
 // more than one when Config.OnViolation suppresses the default panic).
 func (c *Checker) Violations() int64 { return c.violations }
 
-// SetRegion swaps the sprint region whose CDOR hop rules are enforced. The
+// SetRegion swaps the sprint region whose containment is enforced. The
 // fault-repair path calls it right after each Network.Reconfigure so the
 // checker stays attached — and stays strict — across every repair: the
 // fabric is empty at that boundary, so no in-flight flit is ever judged
-// against the wrong region. Passing nil disables region checks (plain DOR
-// discipline still applies if Config.DOR is set).
-func (c *Checker) SetRegion(r *sprint.Region) {
-	c.cfg.Region = r
-	if r != nil {
-		c.masterY = r.Mesh().Coord(r.Master()).Y
-	}
-}
+// against the wrong region. Passing nil disables region checks. Pair with
+// SetOracle when the repair also changes the routing algorithm.
+func (c *Checker) SetRegion(r *sprint.Region) { c.cfg.Region = r }
+
+// SetOracle swaps the route oracle hops are judged against, for the same
+// reconfiguration boundaries SetRegion serves. Passing nil disables hop
+// checking.
+func (c *Checker) SetOracle(o RouteOracle) { c.cfg.Oracle = o }
 
 func (c *Checker) fail(n *noc.Network, kind Kind, format string, args ...any) {
 	c.violations++
@@ -167,8 +180,8 @@ func (c *Checker) fail(n *noc.Network, kind Kind, format string, args ...any) {
 }
 
 // FlitArrived checks dark-router silence, region containment, and the hop
-// discipline of the configured routing algorithm.
-func (c *Checker) FlitArrived(n *noc.Network, router int, from mesh.Direction, pkt *noc.Packet, typ noc.FlitType, vc int) {
+// discipline of the configured route oracle.
+func (c *Checker) FlitArrived(n *noc.Network, router, from int, pkt *noc.Packet, typ noc.FlitType, vc int) {
 	if !n.RouterActive(router) {
 		c.fail(n, DarkRouter, "flit %s of packet %d (%d->%d) delivered to power-gated router %d",
 			typ, pkt.ID, pkt.Src, pkt.Dst, router)
@@ -179,77 +192,39 @@ func (c *Checker) FlitArrived(n *noc.Network, router int, from mesh.Direction, p
 			typ, pkt.ID, pkt.Src, pkt.Dst, router)
 		return
 	}
-	if from == mesh.Local {
+	if from == topo.Local {
 		// Injection from the node's own NI.
 		if pkt.Src != router {
 			c.fail(n, RouteRule, "packet %d with source %d injected at node %d", pkt.ID, pkt.Src, router)
 		}
 		return
 	}
-	prev, ok := n.Mesh().Neighbor(router, from)
-	if !ok {
-		c.fail(n, Structural, "flit of packet %d arrived at router %d from off-mesh direction %v",
-			pkt.ID, router, from)
+	tp := n.Topo()
+	prev := tp.Neighbor(router, from)
+	if prev < 0 {
+		c.fail(n, Structural, "flit of packet %d arrived at router %d through port %s with no neighbour behind it",
+			pkt.ID, router, tp.PortName(from))
 		return
 	}
-	// The flit sat at prev and hopped in direction from.Opposite() to get
-	// here; judge that hop against the routing discipline at prev.
-	c.checkHop(n, prev, from.Opposite(), pkt)
-}
-
-// checkHop validates one hop taken at router prev in direction d for pkt.
-func (c *Checker) checkHop(n *noc.Network, prev int, d mesh.Direction, pkt *noc.Packet) {
-	m := n.Mesh()
-	cc := m.Coord(prev)
-	tc := m.Coord(pkt.Dst)
-	switch {
-	case c.cfg.Region != nil:
-		// CDOR (Algorithm 2): X strictly toward the destination first;
-		// vertical moves are either Y-progress after X is resolved, or an
-		// escape toward the master row forced by a missing horizontal link.
-		ok := false
-		switch d {
-		case mesh.East:
-			ok = tc.X > cc.X
-		case mesh.West:
-			ok = tc.X < cc.X
-		case mesh.North:
-			ok = (tc.X == cc.X && tc.Y < cc.Y) ||
-				(tc.X != cc.X && cc.Y > c.masterY && !c.cfg.Region.Connected(prev, horizontalToward(cc, tc)))
-		case mesh.South:
-			ok = (tc.X == cc.X && tc.Y > cc.Y) ||
-				(tc.X != cc.X && cc.Y < c.masterY && !c.cfg.Region.Connected(prev, horizontalToward(cc, tc)))
-		}
-		if !ok {
-			c.fail(n, RouteRule, "hop %v at router %d violates CDOR for packet %d (%d->%d)",
-				d, prev, pkt.ID, pkt.Src, pkt.Dst)
-		}
-	case c.cfg.DOR:
-		ok := false
-		switch d {
-		case mesh.East:
-			ok = tc.X > cc.X
-		case mesh.West:
-			ok = tc.X < cc.X
-		case mesh.North:
-			ok = tc.X == cc.X && tc.Y < cc.Y
-		case mesh.South:
-			ok = tc.X == cc.X && tc.Y > cc.Y
-		}
-		if !ok {
-			c.fail(n, RouteRule, "hop %v at router %d violates X-then-Y order for packet %d (%d->%d)",
-				d, prev, pkt.ID, pkt.Src, pkt.Dst)
-		}
+	if c.cfg.Oracle == nil {
+		return
 	}
-}
-
-// horizontalToward is the horizontal direction from cc toward tc; callers
-// guarantee tc.X != cc.X.
-func horizontalToward(cc, tc mesh.Coord) mesh.Direction {
-	if tc.X > cc.X {
-		return mesh.East
+	// The flit sat at prev and left it through the opposite port to get
+	// here; judge that hop against the oracle's decision at prev. A hop the
+	// oracle cannot classify (it errors, e.g. a dark or out-of-region node)
+	// is rejected outright rather than skipped: traffic the discipline
+	// cannot explain is exactly what the checker exists to catch.
+	port := tp.Opposite(from)
+	want, err := c.cfg.Oracle(prev, pkt.Dst)
+	if err != nil {
+		c.fail(n, RouteRule, "hop %s at router %d for packet %d (%d->%d) is unclassifiable: %v",
+			tp.PortName(port), prev, pkt.ID, pkt.Src, pkt.Dst, err)
+		return
 	}
-	return mesh.West
+	if want != port {
+		c.fail(n, RouteRule, "hop %s at router %d violates the routing discipline for packet %d (%d->%d): oracle says %s",
+			tp.PortName(port), prev, pkt.ID, pkt.Src, pkt.Dst, tp.PortName(want))
+	}
 }
 
 // FlitInjected checks that sources only inject their own packets from
@@ -278,10 +253,10 @@ func (c *Checker) FlitEjected(n *noc.Network, node int, pkt *noc.Packet, tail bo
 // CreditDelivered checks the credit counter bounds eagerly, at the moment
 // each credit lands (the periodic structural sweep additionally proves
 // link-level credit conservation).
-func (c *Checker) CreditDelivered(n *noc.Network, router int, port mesh.Direction, vc, credits int) {
+func (c *Checker) CreditDelivered(n *noc.Network, router, port, vc, credits int) {
 	if depth := n.Config().BufferDepth; credits < 0 || credits > depth {
-		c.fail(n, Credit, "credits for router %d port %v vc %d reached %d (buffer depth %d)",
-			router, port, vc, credits, depth)
+		c.fail(n, Credit, "credits for router %d port %s vc %d reached %d (buffer depth %d)",
+			router, n.Topo().PortName(port), vc, credits, depth)
 	}
 }
 

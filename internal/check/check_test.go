@@ -1,6 +1,7 @@
 package check_test
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -45,11 +46,12 @@ func runSynthetic(t *testing.T, net *noc.Network, nodes []int, rate float64) noc
 func TestCleanRunCDOR(t *testing.T) {
 	m := mesh.New(4, 4)
 	region := sprint.NewRegion(m, 0, 8, sprint.Euclidean)
-	net, err := noc.New(noc.DefaultConfig(), routing.NewCDOR(region), region.ActiveNodes())
+	alg := routing.NewCDOR(region)
+	net, err := noc.New(noc.DefaultConfig(), alg, region.ActiveNodes())
 	if err != nil {
 		t.Fatal(err)
 	}
-	net.SetChecker(check.New(failOn(t, check.Config{Region: region, Interval: 1})))
+	net.SetChecker(check.New(failOn(t, check.Config{Region: region, Oracle: check.Oracle(alg), Interval: 1})))
 	res := runSynthetic(t, net, region.ActiveNodes(), 0.2)
 	if res.MeasuredPackets == 0 {
 		t.Fatal("no packets measured — the run exercised nothing")
@@ -61,14 +63,15 @@ func TestCleanRunCDOR(t *testing.T) {
 // the watchdog.
 func TestCleanRunDOR(t *testing.T) {
 	m := mesh.New(4, 4)
-	net, err := noc.New(noc.DefaultConfig(), routing.NewDOR(m), nil)
+	alg := routing.NewDOR(m)
+	net, err := noc.New(noc.DefaultConfig(), alg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := net.EnableRuntimeGating(noc.DefaultGatingConfig()); err != nil {
 		t.Fatal(err)
 	}
-	net.SetChecker(check.New(failOn(t, check.Config{DOR: true, Interval: 1})))
+	net.SetChecker(check.New(failOn(t, check.Config{Oracle: check.Oracle(alg), Interval: 1})))
 	nodes := make([]int, m.Nodes())
 	for i := range nodes {
 		nodes[i] = i
@@ -85,12 +88,13 @@ func TestCheckerZeroDrift(t *testing.T) {
 	m := mesh.New(4, 4)
 	run := func(attach bool) noc.Result {
 		region := sprint.NewRegion(m, 0, 8, sprint.Euclidean)
-		net, err := noc.New(noc.DefaultConfig(), routing.NewCDOR(region), region.ActiveNodes())
+		alg := routing.NewCDOR(region)
+		net, err := noc.New(noc.DefaultConfig(), alg, region.ActiveNodes())
 		if err != nil {
 			t.Fatal(err)
 		}
 		if attach {
-			net.SetChecker(check.New(failOn(t, check.Config{Region: region, Interval: 1})))
+			net.SetChecker(check.New(failOn(t, check.Config{Region: region, Oracle: check.Oracle(alg), Interval: 1})))
 		}
 		return runSynthetic(t, net, region.ActiveNodes(), 0.25)
 	}
@@ -101,14 +105,16 @@ func TestCheckerZeroDrift(t *testing.T) {
 }
 
 // misroute wraps a routing algorithm and forces one wrong turn at a chosen
-// router, to inject violations deliberately.
+// router, to inject violations deliberately. The checker's oracle must be
+// built from the wrapped inner algorithm — the intended discipline — or it
+// would bless the very misroutes the tests inject.
 type misroute struct {
 	inner routing.Algorithm
 	at    int
-	dir   mesh.Direction
+	dir   int
 }
 
-func (a misroute) NextPort(cur, dst int) (mesh.Direction, error) {
+func (a misroute) NextPort(cur, dst int) (int, error) {
 	if cur == a.at && cur != dst {
 		return a.dir, nil
 	}
@@ -128,12 +134,13 @@ func TestDarkRouterViolationCaught(t *testing.T) {
 	}
 	// CDOR routes 0->5 as East to 1 then South to 5; the misroute instead
 	// turns East at router 1, into dark router 2.
-	alg := misroute{inner: routing.NewCDOR(region), at: 1, dir: mesh.East}
+	inner := routing.NewCDOR(region)
+	alg := misroute{inner: inner, at: 1, dir: int(mesh.East)}
 	net, err := noc.New(noc.DefaultConfig(), alg, region.ActiveNodes())
 	if err != nil {
 		t.Fatal(err)
 	}
-	net.SetChecker(check.New(check.Config{Region: region, Interval: 1}))
+	net.SetChecker(check.New(check.Config{Region: region, Oracle: check.Oracle(inner), Interval: 1}))
 	net.Enqueue(0, 5)
 
 	var got *check.Violation
@@ -173,7 +180,8 @@ func TestRouteRuleViolationCaught(t *testing.T) {
 	region := sprint.NewRegion(m, 0, 16, sprint.Euclidean)
 	// CDOR resolves X first: 0->5 must leave router 0 eastward. Going
 	// South instead breaks monotonicity (no missing link excuses it).
-	alg := misroute{inner: routing.NewCDOR(region), at: 0, dir: mesh.South}
+	inner := routing.NewCDOR(region)
+	alg := misroute{inner: inner, at: 0, dir: int(mesh.South)}
 	net, err := noc.New(noc.DefaultConfig(), alg, region.ActiveNodes())
 	if err != nil {
 		t.Fatal(err)
@@ -181,6 +189,7 @@ func TestRouteRuleViolationCaught(t *testing.T) {
 	var kinds []check.Kind
 	net.SetChecker(check.New(check.Config{
 		Region:      region,
+		Oracle:      check.Oracle(inner),
 		Interval:    1,
 		OnViolation: func(v *check.Violation) { kinds = append(kinds, v.Kind) },
 	}))
@@ -199,6 +208,37 @@ func TestRouteRuleViolationCaught(t *testing.T) {
 	}
 }
 
+// TestUnclassifiableHopRejected pins the strict-oracle contract: a hop the
+// oracle errors on is a RouteRule violation, never a silent skip.
+func TestUnclassifiableHopRejected(t *testing.T) {
+	m := mesh.New(4, 4)
+	net, err := noc.New(noc.DefaultConfig(), routing.NewDOR(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*check.Violation
+	net.SetChecker(check.New(check.Config{
+		Oracle: func(cur, dst int) (int, error) {
+			return 0, errors.New("hop outside the checked discipline")
+		},
+		Interval:    1,
+		OnViolation: func(v *check.Violation) { got = append(got, v) },
+	}))
+	net.Enqueue(0, 5)
+	net.Run(200)
+	if len(got) == 0 {
+		t.Fatal("oracle errors went unreported; unclassifiable hops must be rejected")
+	}
+	for _, v := range got {
+		if v.Kind != check.RouteRule {
+			t.Fatalf("unexpected %s violation, want %s", v.Kind, check.RouteRule)
+		}
+	}
+	if !strings.Contains(got[0].Detail, "unclassifiable") {
+		t.Fatalf("detail %q does not call the hop unclassifiable", got[0].Detail)
+	}
+}
+
 // ringAlg routes every packet clockwise around a 2x2 mesh — a textbook
 // cyclic channel dependency that wormhole flow control turns into deadlock.
 type ringAlg struct {
@@ -206,11 +246,11 @@ type ringAlg struct {
 	next map[int]int
 }
 
-func (a ringAlg) NextPort(cur, dst int) (mesh.Direction, error) {
+func (a ringAlg) NextPort(cur, dst int) (int, error) {
 	if cur == dst {
-		return mesh.Local, nil
+		return int(mesh.Local), nil
 	}
-	return a.m.DirectionTo(cur, a.next[cur]), nil
+	return int(a.m.DirectionTo(cur, a.next[cur])), nil
 }
 
 func (a ringAlg) Name() string { return "ring" }

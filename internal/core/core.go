@@ -21,6 +21,7 @@ import (
 	"nocsprint/internal/runner"
 	"nocsprint/internal/sprint"
 	"nocsprint/internal/thermal"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 	"nocsprint/internal/workload"
 )
@@ -351,13 +352,14 @@ func (p NetSimParams) sweepCtx() context.Context {
 // instrument applies the observational switches to a freshly built network:
 // the invariant checker when p.Check is set, a telemetry collector labeled
 // label when p.Obs is set, and the reference full-scan stepper when
-// p.Reference is set. region carries the CDOR hop rules of the sprint region
-// the network routes over; a nil region enforces plain X-then-Y dimension
-// order instead (all the full-mesh baselines route DOR). None of the
+// p.Reference is set. region carries the sprint region whose containment the
+// checker enforces (nil for full-fabric baselines); the hop oracle is built
+// from the network's own routing algorithm, which on every core sweep is the
+// intended discipline (CDOR, DOR, torus DOR, ring-circulant). None of the
 // switches affects simulation results.
 func (p NetSimParams) instrument(net *noc.Network, region *sprint.Region, label string) {
 	if p.Check {
-		net.SetChecker(check.New(check.Config{Region: region, DOR: region == nil}))
+		net.SetChecker(check.New(check.Config{Region: region, Oracle: check.Oracle(net.Algorithm())}))
 	}
 	if p.Obs != nil {
 		p.Obs.Attach(net, label)
@@ -414,7 +416,7 @@ func (s *Sprinter) EvaluateNetwork(p workload.Profile, scheme Scheme, sp NetSimP
 	case FullSprinting:
 		alg = routing.NewDOR(s.mesh)
 		active = nil // all routers powered
-		set = traffic.NewSet(allNodes(s.mesh.Nodes()))
+		set = traffic.NewSet(topo.AllNodes(s.mesh.Nodes()))
 		routers = s.mesh.Nodes()
 	case FineGrained:
 		alg = routing.NewCDOR(region)
@@ -530,14 +532,6 @@ func (s *Sprinter) SprintThermal(p workload.Profile, scheme Scheme) (thermal.Pha
 		return thermal.Phases{}, Decision{}, err
 	}
 	return ph, d, nil
-}
-
-func allNodes(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 // TrafficHeatMap solves a steady-state heat map whose per-tile power comes

@@ -16,6 +16,7 @@ import (
 	"nocsprint/internal/sprint"
 	"nocsprint/internal/stats"
 	"nocsprint/internal/thermal"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 	"nocsprint/internal/workload"
 )
@@ -621,7 +622,7 @@ func GatingComparison(s *Sprinter, gcfg noc.GatingConfig, sp NetSimParams) (Gati
 			return GatingResult{}, err
 		}
 		sp.instrument(net, nil, fmt.Sprintf("gating/%s/runtime", p.Name))
-		set := traffic.NewSet(allNodes(s.mesh.Nodes()))
+		set := traffic.NewSet(topo.AllNodes(s.mesh.Nodes()))
 		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
 			InjectionRate: p.InjRate,
 			WarmupCycles:  sp.Warmup,
@@ -1004,7 +1005,7 @@ func SensitivityPoint(vcs, depth int, sp NetSimParams) (SensitivityRow, error) {
 	cfg := noc.DefaultConfig()
 	cfg.VCs, cfg.BufferDepth = vcs, depth
 	m := mesh.New(cfg.Width, cfg.Height)
-	set := traffic.NewSet(allNodes(cfg.Nodes()))
+	set := traffic.NewSet(topo.AllNodes(cfg.Nodes()))
 	row := SensitivityRow{VCs: vcs, BufferDepth: depth}
 	for ri, rate := range rates {
 		net, err := noc.New(cfg, routing.NewDOR(m), nil)

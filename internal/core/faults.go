@@ -13,6 +13,7 @@ import (
 	"nocsprint/internal/power"
 	"nocsprint/internal/routing"
 	"nocsprint/internal/sprint"
+	"nocsprint/internal/topo"
 )
 
 // The fault-injection experiment: how much of the sprint's capacity
@@ -141,10 +142,10 @@ func faultMix(total, nodes int) (perm, trans, links int) {
 func (s *Sprinter) cdorValidator() func(*sprint.Region) error {
 	return func(r *sprint.Region) error {
 		alg := routing.NewCDOR(r)
-		if _, err := routing.BuildTable(s.mesh, alg, r.ActiveNodes()); err != nil {
+		if _, err := routing.BuildTable(topo.FromMesh(s.mesh), alg, r.ActiveNodes()); err != nil {
 			return err
 		}
-		g, err := routing.BuildDependencyGraph(s.mesh, alg, r.ActiveNodes())
+		g, err := routing.BuildDependencyGraph(topo.FromMesh(s.mesh), alg, r.ActiveNodes())
 		if err != nil {
 			return err
 		}
@@ -257,11 +258,15 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 	var firstViolation *check.Violation
 	var chk *check.Checker
 	if p.Sim.Check {
-		chk = check.New(check.Config{Region: region, OnViolation: func(v *check.Violation) {
-			if firstViolation == nil {
-				firstViolation = v
-			}
-		}})
+		chk = check.New(check.Config{
+			Region: region,
+			Oracle: check.Oracle(routing.NewCDOR(region)),
+			OnViolation: func(v *check.Violation) {
+				if firstViolation == nil {
+					firstViolation = v
+				}
+			},
+		})
 		net.SetChecker(chk)
 	}
 	net.UseReferenceStepper(p.Sim.Reference)
@@ -313,7 +318,10 @@ func (s *Sprinter) FaultRun(sched *fault.Schedule, p FaultParams, seed int64) (F
 		}
 		prevLevel = r.Level()
 		if chk != nil {
+			// The fabric is drained at this boundary, so no in-flight hop is
+			// ever judged against the wrong region or routing discipline.
 			chk.SetRegion(r)
+			chk.SetOracle(check.Oracle(routing.NewCDOR(r)))
 		}
 		return nil
 	}

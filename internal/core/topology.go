@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"nocsprint/internal/noc"
+	"nocsprint/internal/routing"
+	"nocsprint/internal/topo"
+	"nocsprint/internal/traffic"
+)
+
+// The topology comparison experiment: the paper evaluates NoC-sprinting on
+// a 2D mesh, but nothing in the sprinting argument is mesh-specific — the
+// topology abstraction (internal/topo) lets the same cycle-accurate
+// simulator answer how the interconnect fabric itself shifts the
+// latency/saturation/power trade-off. The study sweeps each candidate
+// topology's full network over the same uniform-traffic rate ladder and
+// reports zero-load latency, saturation throughput, low-load network power,
+// and the bisection width the candidate pays for them.
+
+// TopoRow is one topology's row of the comparison table.
+type TopoRow struct {
+	// Spec identifies the topology ("4x4 mesh", "4x4 torus", "C(16;1,4)").
+	Spec string
+	// Routing names the deadlock-free routing discipline used.
+	Routing string
+	// Nodes and Ports give the scale and the per-router radix.
+	Nodes, Ports int
+	// BisectionLinks is the number of links a balanced bisection cuts —
+	// the cost axis the candidates are matched on.
+	BisectionLinks int
+	// ZeroLoadLatency is the average packet latency at the lowest rate of
+	// the ladder, in cycles.
+	ZeroLoadLatency float64
+	// SaturationRate is the highest offered load (flits/cycle/node) the
+	// network accepted without saturating; 0 when even the lowest rate
+	// saturated.
+	SaturationRate float64
+	// LowLoadPowerW is total network power at the lowest rate, in watts.
+	LowLoadPowerW float64
+}
+
+// TopologyParams configures TopologyStudy; zero values select the default
+// candidate set and rate ladder.
+type TopologyParams struct {
+	// Specs are the candidate topologies. Default: the paper's 4x4 mesh,
+	// the 4x4 torus, and the ring-circulant C(16;1,4) — three 16-node
+	// 5-port fabrics whose wiring differs but whose router cost matches.
+	Specs []topo.Spec
+	// Rates is the offered-load ladder walked per topology, lowest first.
+	// Default: 0.1 through 0.9 in steps of 0.1.
+	Rates []float64
+	// Sim carries the simulation windows and sweep plumbing (workers,
+	// checkpoint journal, cancellation, checker, telemetry).
+	Sim NetSimParams
+}
+
+func (p TopologyParams) withDefaults() TopologyParams {
+	if len(p.Specs) == 0 {
+		p.Specs = []topo.Spec{topo.MeshSpec(4, 4), topo.TorusSpec(4, 4), topo.CirculantSpec(16, 1, 4)}
+	}
+	if len(p.Rates) == 0 {
+		p.Rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	return p
+}
+
+// topoRouter picks the deadlock-free routing discipline matching a
+// topology: X-then-Y DOR on the mesh, dateline DOR on the torus, greedy
+// dateline routing on ring-circulants.
+func topoRouter(t topo.Topology) (routing.Algorithm, error) {
+	switch tt := t.(type) {
+	case *topo.Mesh:
+		return routing.NewDOR(tt.Mesh()), nil
+	case *topo.Torus:
+		return routing.NewTorusDOR(tt), nil
+	case *topo.Circulant:
+		return routing.NewRingCirculant(tt)
+	}
+	return nil, fmt.Errorf("core: no routing discipline for topology %s", t.Name())
+}
+
+// TopologyStudy runs the topology comparison: each candidate spec fans out
+// across Sim.Workers as one sweep point (checkpointed under Sim.Journal,
+// cancelled by Sim.Ctx) and walks the rate ladder serially until its first
+// saturated rate, exactly like the sensitivity sweep. Per-rate seeds are
+// fixed, so results are identical at any worker count and across resumes.
+func (s *Sprinter) TopologyStudy(p TopologyParams) ([]TopoRow, error) {
+	p = p.withDefaults()
+	sp := p.Sim.withDefaults()
+	cfg := s.cfg.NoC
+	keys := make([]string, len(p.Specs))
+	for i, spec := range p.Specs {
+		if _, err := spec.Build(); err != nil {
+			return nil, err
+		}
+		var err error
+		keys[i], err = pointKey("topology", cfg, struct {
+			Spec  topo.Spec
+			Rates []float64
+		}{spec, p.Rates}, sp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runPoints(sp, keys, func(_ context.Context, i int) (TopoRow, error) {
+		return s.topologyPoint(p.Specs[i], p.Rates, sp)
+	})
+}
+
+// topologyPoint evaluates one topology over the rate ladder.
+func (s *Sprinter) topologyPoint(spec topo.Spec, rates []float64, sp NetSimParams) (TopoRow, error) {
+	tp, err := spec.Build()
+	if err != nil {
+		return TopoRow{}, err
+	}
+	alg, err := topoRouter(tp)
+	if err != nil {
+		return TopoRow{}, err
+	}
+	set := traffic.NewSet(topo.AllNodes(tp.Nodes()))
+	row := TopoRow{
+		Spec:           spec.String(),
+		Routing:        alg.Name(),
+		Nodes:          tp.Nodes(),
+		Ports:          tp.Ports(),
+		BisectionLinks: topo.CutLinks(tp),
+	}
+	for ri, rate := range rates {
+		net, err := noc.NewTopo(s.cfg.NoC, tp, alg, nil)
+		if err != nil {
+			return TopoRow{}, err
+		}
+		sp.instrument(net, nil, fmt.Sprintf("topology/%s/r%02d", spec.Kind, ri))
+		res, err := noc.RunSynthetic(net, set, traffic.NewUniform(set.Size()), noc.SimParams{
+			InjectionRate: rate, WarmupCycles: sp.Warmup, MeasureCycles: sp.Measure,
+			DrainCycles: sp.Drain, Seed: int64(300 + ri), Ctx: sp.Abort,
+		})
+		if err != nil {
+			return TopoRow{}, err
+		}
+		if ri == 0 {
+			row.ZeroLoadLatency = res.AvgLatency
+			bd, err := s.cfg.Router.NetworkPower(res.Events, res.MeasureWindow, tp.Nodes(), s.cfg.Corner)
+			if err != nil {
+				return TopoRow{}, err
+			}
+			row.LowLoadPowerW = bd.Total()
+		}
+		if res.Saturated {
+			break
+		}
+		row.SaturationRate = rate
+	}
+	return row, nil
+}

@@ -3,21 +3,20 @@ package noc
 import (
 	"fmt"
 	"strings"
-
-	"nocsprint/internal/mesh"
 )
 
 // Checker observes simulator events for runtime invariant enforcement (see
 // internal/check for the implementation). All hooks run synchronously inside
 // Step and must not mutate the network; a nil checker costs one pointer
 // comparison per event, so the hot path is unaffected when checking is off.
+// Ports are topology port indices (topo.Local = 0 for the NI side).
 type Checker interface {
 	// FlitArrived fires when a flit is written into router's input buffer on
 	// port from. Arrivals on the Local port are injections from the node's
 	// own NI; any other port means the flit traversed the link from the
-	// neighbour in direction from, i.e. it hopped in direction
-	// from.Opposite().
-	FlitArrived(n *Network, router int, from mesh.Direction, pkt *Packet, typ FlitType, vc int)
+	// neighbour Topo().Neighbor(router, from), i.e. it left that neighbour
+	// through port Topo().Opposite(from).
+	FlitArrived(n *Network, router, from int, pkt *Packet, typ FlitType, vc int)
 	// FlitInjected fires when the NI at node issues flit seq of pkt toward
 	// its router's Local input port.
 	FlitInjected(n *Network, node int, pkt *Packet, seq int)
@@ -27,7 +26,7 @@ type Checker interface {
 	// CreditDelivered fires when a credit lands back at router's output
 	// (port, vc); credits is the counter value after the increment. Port
 	// Local denotes the NI-side credits of node router.
-	CreditDelivered(n *Network, router int, port mesh.Direction, vc, credits int)
+	CreditDelivered(n *Network, router, port, vc, credits int)
 	// CycleEnd fires at the end of every Step, after all pipeline stages.
 	CycleEnd(n *Network, cycle int64)
 }
@@ -78,8 +77,8 @@ func (n *Network) FlitCensus() []ClassCensus {
 		if nic.cur != nil {
 			out[nic.cur.Class].AtSource += int64(nic.cur.Length - nic.curSeq)
 		}
-		for p := range n.inbox[id] {
-			for _, ev := range n.inbox[id][p] {
+		for p := 0; p < n.P; p++ {
+			for _, ev := range n.inbox[id*n.P+p] {
 				out[ev.f.pkt.Class].InNetwork++
 			}
 		}
@@ -104,8 +103,8 @@ func (n *Network) FlitCensus() []ClassCensus {
 // report so a failing sweep point can be diagnosed post mortem.
 func (n *Network) Snapshot() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "network snapshot at cycle %d: %dx%d mesh, %d VCs x depth %d, %d classes\n",
-		n.cycle, n.cfg.Width, n.cfg.Height, n.cfg.VCs, n.cfg.BufferDepth, n.cfg.classes())
+	fmt.Fprintf(&b, "network snapshot at cycle %d: %s, %d VCs x depth %d, %d classes\n",
+		n.cycle, n.tp.Name(), n.cfg.VCs, n.cfg.BufferDepth, n.cfg.classes())
 	s := n.Stats()
 	fmt.Fprintf(&b, "packets: created %d injected %d ejected %d dropped %d (in flight %d); flits: injected %d ejected %d dropped %d\n",
 		s.PacketsCreated, s.PacketsInjected, s.PacketsEjected, s.PacketsDropped, n.InFlight(),
@@ -113,23 +112,23 @@ func (n *Network) Snapshot() string {
 	for id, r := range n.routers {
 		nic := n.nis[id]
 		inflight := 0
-		for p := range n.inbox[id] {
-			inflight += len(n.inbox[id][p])
+		for p := 0; p < n.P; p++ {
+			inflight += len(n.inbox[id*n.P+p])
 		}
 		if !r.active {
 			if inflight > 0 {
 				fmt.Fprintf(&b, "router %2d %v: GATED with %d flits in flight toward it\n",
-					id, n.m.Coord(id), inflight)
+					id, n.tp.Label(id), inflight)
 			}
 			continue
 		}
 		fmt.Fprintf(&b, "router %2d %v: buffered %d, inbound %d, eject-queue %d, NI queue %d",
-			id, n.m.Coord(id), r.occupancy(), inflight, len(n.eject[id]), len(nic.queue))
+			id, n.tp.Label(id), r.occupancy(), inflight, len(n.eject[id]), len(nic.queue))
 		if nic.cur != nil {
 			fmt.Fprintf(&b, ", injecting pkt %d flit %d/%d", nic.cur.ID, nic.curSeq, nic.cur.Length)
 		}
 		b.WriteByte('\n')
-		for p := 0; p < mesh.NumDirections; p++ {
+		for p := 0; p < n.P; p++ {
 			for v := range r.in[p] {
 				ivc := &r.in[p][v]
 				if ivc.state == vcIdle && len(ivc.buf) == 0 {
@@ -142,7 +141,7 @@ func (n *Network) Snapshot() string {
 						head.pkt.ID, head.pkt.Src, head.pkt.Dst, head.typ)
 				}
 				fmt.Fprintf(&b, "  in[%v][vc%d]: %d flits, state %d -> out %v vc %d%s\n",
-					mesh.Direction(p), v, len(ivc.buf), ivc.state, ivc.outPort, ivc.outVC, desc)
+					n.tp.PortName(p), v, len(ivc.buf), ivc.state, n.tp.PortName(ivc.outPort), ivc.outVC, desc)
 			}
 			for v := range r.out[p] {
 				o := &r.out[p][v]
@@ -150,7 +149,7 @@ func (n *Network) Snapshot() string {
 					continue
 				}
 				fmt.Fprintf(&b, "  out[%v][vc%d]: occupied %v, credits %d/%d\n",
-					mesh.Direction(p), v, o.occupied, o.credits, n.cfg.BufferDepth)
+					n.tp.PortName(p), v, o.occupied, o.credits, n.cfg.BufferDepth)
 			}
 		}
 	}

@@ -52,9 +52,17 @@ func DefaultConfig() Config {
 
 // Validate reports the first invalid parameter, or nil.
 func (c Config) Validate() error {
-	switch {
-	case c.Width < 1 || c.Height < 1:
+	if c.Width < 1 || c.Height < 1 {
 		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	return c.validateFabric()
+}
+
+// validateFabric validates the topology-independent fabric parameters —
+// everything except the mesh dimensions, which NewTopo ignores in favour of
+// the topology's own node set.
+func (c Config) validateFabric() error {
+	switch {
 	case c.VCs < 1:
 		return fmt.Errorf("noc: need >= 1 VC, got %d", c.VCs)
 	case c.BufferDepth < 1:

@@ -91,7 +91,13 @@ func buildEquiv(t *testing.T, c equivCase, reference bool) (*noc.Network, []int,
 			t.Fatal(err)
 		}
 	}
-	net.SetChecker(check.New(check.Config{Region: region, DOR: region == nil}))
+	// The oracle tracks the network's current algorithm through the mid-run
+	// Reconfigure (which swaps CDOR regions), so hops are always judged
+	// against the discipline in force when they were routed.
+	net.SetChecker(check.New(check.Config{
+		Region: region,
+		Oracle: func(cur, dst int) (int, error) { return net.Algorithm().NextPort(cur, dst) },
+	}))
 	net.UseReferenceStepper(reference)
 	return net, nodes, region
 }

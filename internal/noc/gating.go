@@ -191,8 +191,8 @@ func (n *Network) updateGating(now int64) {
 // pendingTraffic reports whether router id has flits in flight toward it or
 // a local source mid-packet — gating then would be immediately undone.
 func (n *Network) pendingTraffic(id int) bool {
-	for p := 0; p < len(n.inbox[id]); p++ {
-		if len(n.inbox[id][p]) > 0 {
+	for p := 0; p < n.P; p++ {
+		if len(n.inbox[id*n.P+p]) > 0 {
 			return true
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/routing"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 )
 
@@ -95,7 +96,7 @@ func TestRuntimeGatingConservesTraffic(t *testing.T) {
 	if err := net.EnableRuntimeGating(DefaultGatingConfig()); err != nil {
 		t.Fatal(err)
 	}
-	set := traffic.NewSet(allNodes(16))
+	set := traffic.NewSet(topo.AllNodes(16))
 	res, err := RunSynthetic(net, set, traffic.NewUniform(16), SimParams{
 		InjectionRate: 0.05, WarmupCycles: 1000, MeasureCycles: 3000, DrainCycles: 30000, Seed: 9,
 	})
@@ -136,7 +137,7 @@ func TestRuntimeGatingAddsLatencyVsUngated(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		res, err := RunSynthetic(net, traffic.NewSet(allNodes(16)), traffic.NewUniform(16), SimParams{
+		res, err := RunSynthetic(net, traffic.NewSet(topo.AllNodes(16)), traffic.NewUniform(16), SimParams{
 			InjectionRate: 0.02, WarmupCycles: 1000, MeasureCycles: 4000, DrainCycles: 30000, Seed: 10,
 		})
 		if err != nil {
@@ -162,7 +163,7 @@ func TestRuntimeGatingHighLoadStaysOn(t *testing.T) {
 	if err := net.EnableRuntimeGating(DefaultGatingConfig()); err != nil {
 		t.Fatal(err)
 	}
-	_, err = RunSynthetic(net, traffic.NewSet(allNodes(16)), traffic.NewUniform(16), SimParams{
+	_, err = RunSynthetic(net, traffic.NewSet(topo.AllNodes(16)), traffic.NewUniform(16), SimParams{
 		InjectionRate: 0.4, WarmupCycles: 500, MeasureCycles: 3000, DrainCycles: 30000, Seed: 11,
 	})
 	if err != nil {

@@ -3,7 +3,7 @@ package noc
 import (
 	"fmt"
 
-	"nocsprint/internal/mesh"
+	"nocsprint/internal/topo"
 )
 
 // CheckInvariants verifies the simulator's structural invariants and
@@ -39,22 +39,22 @@ func (n *Network) CheckInvariants() error {
 			continue
 		}
 		// Credit conservation per output (port, vc).
-		for p := 1; p < mesh.NumDirections; p++ { // skip Local: uncredited
+		for p := 1; p < n.P; p++ { // skip Local: uncredited
 			dst := r.downstream[p]
 			if dst < 0 {
 				continue
 			}
-			inDir := mesh.Direction(p).Opposite()
+			inDir := n.opp[p]
 			for vc := 0; vc < n.cfg.VCs; vc++ {
 				sum := r.out[p][vc].credits
 				sum += len(n.routers[dst].in[inDir][vc].buf)
-				for _, ev := range n.inbox[dst][inDir] {
+				for _, ev := range n.inbox[dst*n.P+inDir] {
 					if ev.f.vc == vc {
 						sum++
 					}
 				}
 				for _, ev := range n.credbox[id] {
-					if int(ev.port) == p && ev.vc == vc {
+					if ev.port == p && ev.vc == vc {
 						sum++
 					}
 				}
@@ -69,8 +69,8 @@ func (n *Network) CheckInvariants() error {
 		if nic.active {
 			for vc := 0; vc < n.cfg.VCs; vc++ {
 				sum := nic.credits[vc]
-				sum += len(r.in[mesh.Local][vc].buf)
-				for _, ev := range n.inbox[id][mesh.Local] {
+				sum += len(r.in[topo.Local][vc].buf)
+				for _, ev := range n.inbox[id*n.P+topo.Local] {
 					if ev.f.vc == vc {
 						sum++
 					}

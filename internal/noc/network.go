@@ -7,6 +7,7 @@ import (
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/routing"
+	"nocsprint/internal/topo"
 )
 
 // arrival is a flit in flight on a link, due at cycle t.
@@ -17,7 +18,7 @@ type arrival struct {
 
 // creditEvt is a credit in flight back to an upstream output (port,vc).
 type creditEvt struct {
-	port mesh.Direction
+	port int
 	vc   int
 	t    int64
 }
@@ -98,15 +99,32 @@ type ni struct {
 	credits []int // credits toward the router's Local input VCs
 }
 
-// Network is a simulated mesh NoC. Construct with New, drive with Step,
-// inject with Enqueue.
+// Network is a simulated NoC over an arbitrary topology (mesh, torus, ring
+// circulant — anything implementing topo.Topology). Construct with New (2D
+// mesh) or NewTopo, drive with Step, inject with Enqueue. All per-port state
+// is sized by the topology's port degree, so every fabric pays exactly its
+// own radix, and the mesh path is bit-identical to the pre-topology
+// simulator.
 type Network struct {
-	cfg     Config
-	m       mesh.Mesh
-	alg     routing.Algorithm
-	routers []*router
-	// inbox[r][p] holds flits in flight toward router r's input port p.
-	inbox [][mesh.NumDirections][]arrival
+	cfg Config
+	tp  topo.Topology
+	// P caches tp.Ports(), nodes caches tp.Nodes(), opp[p] caches
+	// tp.Opposite(p): the hot path reads slices and ints only, never
+	// interface methods.
+	P     int
+	nodes int
+	opp   []int
+	alg   routing.Algorithm
+	// vcClassFn, when the routing algorithm carries a VC policy
+	// (routing.VCPolicy: dateline classes on torus/circulant rings),
+	// restricts VC allocation to the class's sub-partition; vcClasses is the
+	// class count. nil/1 for mesh DOR/CDOR, leaving that path untouched.
+	vcClassFn func(cur, dst int) int
+	vcClasses int
+	routers   []*router
+	// inbox[id*P+p] holds flits in flight toward router id's input port p
+	// (flattened per-port boxes, degree-parameterized).
+	inbox [][]arrival
 	// credbox[r] holds credits in flight back to router r's outputs.
 	credbox [][]creditEvt
 	// nicredbox[r] holds credits (freed Local-input slots) flowing back to
@@ -126,13 +144,12 @@ type Network struct {
 	// sink, when set, receives every packet at tail ejection (closed-loop
 	// protocol models hook here).
 	sink func(*Packet)
-	// linkLat holds the latency of every directed link, indexed
-	// id*NumDirections+port and seeded uniformly from cfg.LinkLatency; a
-	// dense slice so the switch-traversal hot path pays one array read, not
-	// a map lookup. SetLinkLatency overrides individual links to model the
-	// longer physical wires a thermal-aware floorplan creates (§3.3) — and,
-	// when left uniform, the SMART repeated wires that traverse them in one
-	// cycle.
+	// linkLat holds the latency of every directed link, indexed id*P+port
+	// and seeded uniformly from cfg.LinkLatency; a dense slice so the
+	// switch-traversal hot path pays one array read, not a map lookup.
+	// SetLinkLatency overrides individual links to model the longer physical
+	// wires a thermal-aware floorplan creates (§3.3) — and, when left
+	// uniform, the SMART repeated wires that traverse them in one cycle.
 	linkLat []int
 	// Active-work scheduling: Step visits only routers that can have work
 	// this cycle, so a dark-dominated mesh costs O(active region), not
@@ -156,8 +173,12 @@ type Network struct {
 	// ActiveRouters call (the fault driver polls it every cycle).
 	activeCount int
 	// usedInput is per-cycle scratch for the one-flit-per-input-port
-	// crossbar constraint, sized [routers][ports].
-	usedInput [][mesh.NumDirections]bool
+	// crossbar constraint, indexed id*P+port like inbox.
+	usedInput []bool
+	// pendingBuf is shared per-router scratch for the allocator prescans
+	// (one int per output port), preallocated so the degree-parameterized
+	// stages stay allocation-free in steady state.
+	pendingBuf []int
 	// checker, when non-nil, observes simulator events for runtime
 	// invariant enforcement (see checker.go and internal/check).
 	checker Checker
@@ -177,7 +198,7 @@ type Network struct {
 	dropDst []bool
 }
 
-// New builds a network over cfg's mesh using routing algorithm alg.
+// New builds a network over cfg's 2D mesh using routing algorithm alg.
 // activeNodes lists the powered routers (with NIs); nil means all nodes are
 // active (full-sprinting). Gated routers hold no state and the simulator
 // panics if routing ever sends a flit into one.
@@ -185,48 +206,79 @@ func New(cfg Config, alg routing.Algorithm, activeNodes []int) (*Network, error)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := mesh.New(cfg.Width, cfg.Height)
-	activeSet := make([]bool, m.Nodes())
+	return NewTopo(cfg, topo.NewMesh(cfg.Width, cfg.Height), alg, activeNodes)
+}
+
+// NewTopo builds a network over an arbitrary topology. cfg's Width/Height
+// are ignored (the topology defines the node set); the fabric parameters
+// (VCs, buffers, packet length, link latency, classes) are validated as in
+// New. When alg implements routing.VCPolicy, each message class's VC
+// partition is further subdivided among the policy's route classes (dateline
+// escape VCs), so VCs must be divisible by Classes x VCClasses.
+func NewTopo(cfg Config, tp topo.Topology, alg routing.Algorithm, activeNodes []int) (*Network, error) {
+	if tp == nil {
+		return nil, fmt.Errorf("noc: nil topology")
+	}
+	if err := cfg.validateFabric(); err != nil {
+		return nil, err
+	}
+	nodes, P := tp.Nodes(), tp.Ports()
+	activeSet := make([]bool, nodes)
 	if activeNodes == nil {
 		for i := range activeSet {
 			activeSet[i] = true
 		}
 	} else {
 		for _, id := range activeNodes {
-			if id < 0 || id >= m.Nodes() {
-				return nil, fmt.Errorf("noc: active node %d outside mesh", id)
+			if id < 0 || id >= nodes {
+				return nil, fmt.Errorf("noc: active node %d outside %s", id, tp.Name())
 			}
 			activeSet[id] = true
 		}
 	}
 	n := &Network{
 		cfg:       cfg,
-		m:         m,
+		tp:        tp,
+		P:         P,
+		nodes:     nodes,
+		opp:       make([]int, P),
 		alg:       alg,
-		routers:   make([]*router, m.Nodes()),
-		inbox:     make([][mesh.NumDirections][]arrival, m.Nodes()),
-		credbox:   make([][]creditEvt, m.Nodes()),
-		nicredbox: make([][]creditEvt, m.Nodes()),
-		eject:     make([][]arrival, m.Nodes()),
-		nis:       make([]*ni, m.Nodes()),
-		usedInput: make([][mesh.NumDirections]bool, m.Nodes()),
+		routers:   make([]*router, nodes),
+		inbox:     make([][]arrival, nodes*P),
+		credbox:   make([][]creditEvt, nodes),
+		nicredbox: make([][]creditEvt, nodes),
+		eject:     make([][]arrival, nodes),
+		nis:       make([]*ni, nodes),
+		usedInput: make([]bool, nodes*P),
 
-		linkLat:  make([]int, m.Nodes()*mesh.NumDirections),
-		inWork:   make([]bool, m.Nodes()),
-		work:     make([]int, 0, m.Nodes()),
-		sweepBuf: make([]int, 0, m.Nodes()),
-		allIDs:   make([]int, m.Nodes()),
+		linkLat:    make([]int, nodes*P),
+		inWork:     make([]bool, nodes),
+		work:       make([]int, 0, nodes),
+		sweepBuf:   make([]int, 0, nodes),
+		allIDs:     make([]int, nodes),
+		pendingBuf: make([]int, P),
 
 		classCreated: make([]int64, cfg.classes()),
 		classEjected: make([]int64, cfg.classes()),
 		classDropped: make([]int64, cfg.classes()),
 	}
+	for p := 0; p < P; p++ {
+		n.opp[p] = tp.Opposite(p)
+	}
+	if vcp, ok := alg.(routing.VCPolicy); ok && vcp.VCClasses() > 1 {
+		n.vcClasses = vcp.VCClasses()
+		n.vcClassFn = vcp.VCClass
+		if cfg.vcsPerClass()%n.vcClasses != 0 {
+			return nil, fmt.Errorf("noc: %d VCs per message class not divisible by %d route VC classes of %s",
+				cfg.vcsPerClass(), n.vcClasses, alg.Name())
+		}
+	}
 	for i := range n.linkLat {
 		n.linkLat[i] = cfg.LinkLatency
 	}
-	for id := 0; id < m.Nodes(); id++ {
+	for id := 0; id < nodes; id++ {
 		n.allIDs[id] = id
-		n.routers[id] = newRouter(id, cfg, m, activeSet[id])
+		n.routers[id] = newRouter(id, cfg, tp, activeSet[id])
 		nic := &ni{active: activeSet[id], credits: make([]int, cfg.VCs)}
 		for v := range nic.credits {
 			nic.credits[v] = cfg.BufferDepth
@@ -250,7 +302,7 @@ func (n *Network) UseReferenceStepper(on bool) { n.scanAll = on }
 // markBusy adds router id to the active-work set, keeping the set sorted by
 // id so the optimized stepper visits routers in exactly the order the full
 // scan would. Idempotent and allocation-free in steady state (the list is
-// pre-sized to the mesh).
+// pre-sized to the node count).
 func (n *Network) markBusy(id int) {
 	if n.inWork[id] {
 		return
@@ -282,8 +334,8 @@ func (n *Network) routerIdle(id int) bool {
 	if len(n.credbox[id]) != 0 || len(n.nicredbox[id]) != 0 || len(n.eject[id]) != 0 {
 		return false
 	}
-	for p := 0; p < mesh.NumDirections; p++ {
-		if len(n.inbox[id][p]) != 0 {
+	for p := 0; p < n.P; p++ {
+		if len(n.inbox[id*n.P+p]) != 0 {
 			return false
 		}
 	}
@@ -312,8 +364,25 @@ func (n *Network) prune() {
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Mesh returns the underlying mesh.
-func (n *Network) Mesh() mesh.Mesh { return n.m }
+// Topo returns the topology the network was built over.
+func (n *Network) Topo() topo.Topology { return n.tp }
+
+// Algorithm returns the routing algorithm currently in use.
+func (n *Network) Algorithm() routing.Algorithm { return n.alg }
+
+// Nodes returns the topology's node count.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Mesh returns the underlying mesh. It panics when the network was built
+// over a non-mesh topology — mesh-specific callers (sprint regions, CDOR
+// fault repair) have no meaning there.
+func (n *Network) Mesh() mesh.Mesh {
+	mt, ok := n.tp.(*topo.Mesh)
+	if !ok {
+		panic(fmt.Sprintf("noc: Mesh() on a %s network", n.tp.Name()))
+	}
+	return mt.Mesh()
+}
 
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() int64 { return n.cycle }
@@ -374,9 +443,10 @@ func (n *Network) EnqueuePacket(src, dst, class, length int) *Packet {
 
 // TryEnqueuePacket is EnqueuePacket with the gating precondition turned
 // into an error: it refuses (rather than panics) when src or dst is outside
-// the mesh or currently dark, so traffic generators and the sprint governor
-// can treat a race with reconfiguration as a dropped offer. Invalid class
-// or length still panic — those are programming errors in any topology.
+// the node set or currently dark, so traffic generators and the sprint
+// governor can treat a race with reconfiguration as a dropped offer.
+// Invalid class or length still panic — those are programming errors in any
+// topology.
 func (n *Network) TryEnqueuePacket(src, dst, class, length int) (*Packet, error) {
 	if class < 0 || class >= n.cfg.classes() {
 		panic(fmt.Sprintf("noc: class %d outside [0,%d)", class, n.cfg.classes()))
@@ -385,7 +455,7 @@ func (n *Network) TryEnqueuePacket(src, dst, class, length int) (*Packet, error)
 		panic(fmt.Sprintf("noc: packet length %d < 1", length))
 	}
 	if src < 0 || src >= len(n.nis) || dst < 0 || dst >= len(n.nis) {
-		return nil, fmt.Errorf("noc: enqueue %d->%d outside mesh", src, dst)
+		return nil, fmt.Errorf("noc: enqueue %d->%d outside %s", src, dst, n.tp.Name())
 	}
 	if !n.nis[src].active {
 		return nil, fmt.Errorf("noc: enqueue at gated node %d", src)
@@ -503,7 +573,7 @@ func (n *Network) deliverCredits(now int64, ids []int) {
 			}
 			n.nis[id].credits[ev.vc]++
 			if n.checker != nil {
-				n.checker.CreditDelivered(n, id, mesh.Local, ev.vc, n.nis[id].credits[ev.vc])
+				n.checker.CreditDelivered(n, id, topo.Local, ev.vc, n.nis[id].credits[ev.vc])
 			}
 			if n.nis[id].credits[ev.vc] > n.cfg.BufferDepth {
 				panic("noc: NI credit overflow")
@@ -517,7 +587,8 @@ func (n *Network) deliverCredits(now int64, ids []int) {
 // switch+link traversal for the winners.
 func (n *Network) switchAllocation(now int64, ids []int) {
 	nVC := n.cfg.VCs
-	reqSpace := mesh.NumDirections * nVC
+	P := n.P
+	reqSpace := P * nVC
 	for _, id := range ids {
 		r := n.routers[id]
 		if !r.active || !n.powered(id) {
@@ -533,9 +604,12 @@ func (n *Network) switchAllocation(now int64, ids []int) {
 			continue
 		}
 		// usedInput is only read and written while arbitrating this router,
-		// so clearing it here (instead of a whole-mesh memset at the top of
-		// Step) keeps the per-cycle cost proportional to active work.
-		n.usedInput[id] = [mesh.NumDirections]bool{}
+		// so clearing it here (instead of a whole-network memset at the top
+		// of Step) keeps the per-cycle cost proportional to active work.
+		used := n.usedInput[id*P : (id+1)*P]
+		for p := range used {
+			used[p] = false
+		}
 		// Prescan: count grantable requesters per output port so the
 		// round-robin sweeps below can skip unrequested ports and stop once
 		// every counted requester has been visited. A VC's state and outPort
@@ -543,12 +617,15 @@ func (n *Network) switchAllocation(now int64, ids []int) {
 		// the granting port's requesters, and VA/RC run after SA), so counts
 		// taken here stay valid for the whole router. The reference stepper
 		// keeps the pre-optimization full sweep via a sentinel count.
-		var pending [mesh.NumDirections]int
+		pending := n.pendingBuf
 		if n.scanAll {
 			for p := range pending {
 				pending[p] = reqSpace
 			}
 		} else {
+			for p := range pending {
+				pending[p] = 0
+			}
 			for p := range r.in {
 				for v := range r.in[p] {
 					ivc := &r.in[p][v]
@@ -558,22 +635,21 @@ func (n *Network) switchAllocation(now int64, ids []int) {
 				}
 			}
 		}
-		for p := 0; p < mesh.NumDirections; p++ {
-			outPort := mesh.Direction(p)
+		for outPort := 0; outPort < P; outPort++ {
 			// Round-robin over the flattened (inPort, inVC) requester space.
 			granted := false
-			for k := 0; k < reqSpace && !granted && pending[p] > 0; k++ {
-				idx := (r.saPtr[p] + k) % reqSpace
+			for k := 0; k < reqSpace && !granted && pending[outPort] > 0; k++ {
+				idx := (r.saPtr[outPort] + k) % reqSpace
 				inPort := idx / nVC
 				inVC := idx % nVC
-				if n.usedInput[id][inPort] {
+				if used[inPort] {
 					continue
 				}
 				v := &r.in[inPort][inVC]
 				if v.state != vcActive || v.empty() || v.outPort != outPort {
 					continue
 				}
-				pending[p]--
+				pending[outPort]--
 				if !r.hasCredit(outPort, v.outVC) {
 					continue
 				}
@@ -583,11 +659,11 @@ func (n *Network) switchAllocation(now int64, ids []int) {
 				r.events.BufferReads++
 				r.events.XbarTraversals++
 				r.events.SAGrants++
-				n.usedInput[id][inPort] = true
-				r.saPtr[p] = (idx + 1) % reqSpace
+				used[inPort] = true
+				r.saPtr[outPort] = (idx + 1) % reqSpace
 				granted = true
 
-				if outPort == mesh.Local {
+				if outPort == topo.Local {
 					n.eject[id] = append(n.eject[id], arrival{f: f, t: now + 1})
 					n.markBusy(id)
 				} else {
@@ -595,24 +671,24 @@ func (n *Network) switchAllocation(now int64, ids []int) {
 					r.events.LinkFlits++
 					dst := r.downstream[outPort]
 					if dst < 0 {
-						panic("noc: flit routed off mesh edge")
+						panic("noc: flit routed off topology edge")
 					}
-					inDir := outPort.Opposite()
+					inDir := n.opp[outPort]
 					// Switch traversal takes this cycle; link traversal
 					// adds the link's latency (the ST then LT stages).
-					n.inbox[dst][inDir] = append(n.inbox[dst][inDir],
+					n.inbox[dst*P+inDir] = append(n.inbox[dst*P+inDir],
 						arrival{f: f, t: now + 1 + int64(n.linkLatencyOf(id, outPort))})
 					n.markBusy(dst)
 				}
 
 				// Return the freed buffer slot upstream as a credit.
-				if mesh.Direction(inPort) == mesh.Local {
+				if inPort == topo.Local {
 					n.nicredbox[id] = append(n.nicredbox[id],
-						creditEvt{port: mesh.Local, vc: inVC, t: now + 1})
+						creditEvt{port: topo.Local, vc: inVC, t: now + 1})
 					n.markBusy(id)
 				} else {
 					up := r.downstream[inPort] // neighbour feeding this input
-					upPort := mesh.Direction(inPort).Opposite()
+					upPort := n.opp[inPort]
 					n.credbox[up] = append(n.credbox[up],
 						creditEvt{port: upPort, vc: inVC, t: now + 1})
 					n.markBusy(up)
@@ -633,10 +709,14 @@ func (n *Network) switchAllocation(now int64, ids []int) {
 
 // vcAllocation grants free output VCs to input VCs whose route is computed.
 // An output VC is reallocated only when unoccupied with full credits, which
-// keeps each VC buffer single-packet (atomic VC allocation).
+// keeps each VC buffer single-packet (atomic VC allocation). When the
+// routing algorithm carries a VC policy, the packet's message-class
+// partition is further restricted to the route class's sub-partition
+// (dateline escape VCs on torus/circulant rings).
 func (n *Network) vcAllocation(ids []int) {
 	nVC := n.cfg.VCs
-	reqSpace := mesh.NumDirections * nVC
+	P := n.P
+	reqSpace := P * nVC
 	for _, id := range ids {
 		r := n.routers[id]
 		if !r.active || !n.powered(id) {
@@ -649,12 +729,15 @@ func (n *Network) vcAllocation(ids []int) {
 		// vcVA requesters per output port up front (new vcVA states only
 		// appear later, in routeCompute) and stop each port sweep once all
 		// of them have been visited.
-		var pending [mesh.NumDirections]int
+		pending := n.pendingBuf
 		if n.scanAll {
 			for p := range pending {
 				pending[p] = reqSpace
 			}
 		} else {
+			for p := range pending {
+				pending[p] = 0
+			}
 			for p := range r.in {
 				for v := range r.in[p] {
 					ivc := &r.in[p][v]
@@ -664,19 +747,25 @@ func (n *Network) vcAllocation(ids []int) {
 				}
 			}
 		}
-		for p := 0; p < mesh.NumDirections; p++ {
-			outPort := mesh.Direction(p)
-			for k := 0; k < reqSpace && pending[p] > 0; k++ {
-				idx := (r.vaPtr[p] + k) % reqSpace
+		for outPort := 0; outPort < P; outPort++ {
+			for k := 0; k < reqSpace && pending[outPort] > 0; k++ {
+				idx := (r.vaPtr[outPort] + k) % reqSpace
 				inPort := idx / nVC
 				inVC := idx % nVC
 				v := &r.in[inPort][inVC]
 				if v.state != vcVA || v.outPort != outPort {
 					continue
 				}
-				pending[p]--
-				class := v.buf[0].pkt.Class
-				outVC := r.freeOutputVC(outPort, p, class*n.cfg.vcsPerClass(), n.cfg.vcsPerClass())
+				pending[outPort]--
+				head := v.buf[0]
+				lo := head.pkt.Class * n.cfg.vcsPerClass()
+				span := n.cfg.vcsPerClass()
+				if n.vcClassFn != nil {
+					sub := span / n.vcClasses
+					lo += n.vcClassFn(id, head.pkt.Dst) * sub
+					span = sub
+				}
+				outVC := r.freeOutputVC(outPort, lo, span)
 				if outVC < 0 {
 					continue // this class's VCs are exhausted this cycle
 				}
@@ -684,7 +773,7 @@ func (n *Network) vcAllocation(ids []int) {
 				v.outVC = outVC
 				v.state = vcActive
 				r.events.VAGrants++
-				r.vaPtr[p] = (idx + 1) % reqSpace
+				r.vaPtr[outPort] = (idx + 1) % reqSpace
 			}
 		}
 	}
@@ -692,13 +781,13 @@ func (n *Network) vcAllocation(ids []int) {
 
 // freeOutputVC returns a grantable VC index within the class partition
 // [lo, lo+span) on outPort (round-robin), or -1.
-func (r *router) freeOutputVC(outPort mesh.Direction, p, lo, span int) int {
+func (r *router) freeOutputVC(outPort, lo, span int) int {
 	for k := 0; k < span; k++ {
-		vc := lo + (r.vaVCPtr[p]+k)%span
+		vc := lo + (r.vaVCPtr[outPort]+k)%span
 		o := &r.out[outPort][vc]
-		full := outPort == mesh.Local || o.credits == cap(r.in[0][0].buf)
+		full := outPort == topo.Local || o.credits == cap(r.in[0][0].buf)
 		if !o.occupied && full {
-			r.vaVCPtr[p] = (vc - lo + 1) % span
+			r.vaVCPtr[outPort] = (vc - lo + 1) % span
 			return vc
 		}
 	}
@@ -740,10 +829,11 @@ func (n *Network) routeCompute(ids []int) {
 // deliverFlits performs buffer writes for flits whose link traversal
 // completes this cycle, and ejections into NIs.
 func (n *Network) deliverFlits(now int64, ids []int) {
+	P := n.P
 	for _, id := range ids {
 		r := n.routers[id]
-		for p := 0; p < mesh.NumDirections; p++ {
-			box := n.inbox[id][p]
+		for p := 0; p < P; p++ {
+			box := n.inbox[id*P+p]
 			k := 0
 			for _, ev := range box {
 				if ev.t > now {
@@ -762,7 +852,7 @@ func (n *Network) deliverFlits(now int64, ids []int) {
 				// gating panic so a dark-router violation is reported with a
 				// full snapshot instead of a bare panic string.
 				if n.checker != nil {
-					n.checker.FlitArrived(n, id, mesh.Direction(p), ev.f.pkt, ev.f.typ, ev.f.vc)
+					n.checker.FlitArrived(n, id, p, ev.f.pkt, ev.f.typ, ev.f.vc)
 				}
 				r.checkGated()
 				v := &r.in[p][ev.f.vc]
@@ -776,7 +866,7 @@ func (n *Network) deliverFlits(now int64, ids []int) {
 					r.busyVCs++
 				}
 			}
-			n.inbox[id][p] = box[:k]
+			n.inbox[id*P+p] = box[:k]
 		}
 
 		// Ejections: the NI consumes arrivals immediately.
@@ -872,7 +962,7 @@ func (n *Network) inject(now int64, ids []int) {
 		}
 		f := flit{pkt: pkt, typ: typ, seq: nic.curSeq, vc: nic.curVC}
 		nic.credits[nic.curVC]--
-		n.inbox[id][mesh.Local] = append(n.inbox[id][mesh.Local], arrival{f: f, t: now + 1})
+		n.inbox[id*n.P+topo.Local] = append(n.inbox[id*n.P+topo.Local], arrival{f: f, t: now + 1})
 		n.markBusy(id)
 		n.stats.FlitsInjected++
 		if n.checker != nil {
@@ -901,7 +991,7 @@ func (n *Network) freeInjectionVC(id, class int) int {
 	lo := class * n.cfg.vcsPerClass()
 	for k := 0; k < n.cfg.vcsPerClass(); k++ {
 		vc := lo + k
-		if nic.credits[vc] == n.cfg.BufferDepth && r.in[mesh.Local][vc].state == vcIdle {
+		if nic.credits[vc] == n.cfg.BufferDepth && r.in[topo.Local][vc].state == vcIdle {
 			return vc
 		}
 	}
@@ -911,8 +1001,8 @@ func (n *Network) freeInjectionVC(id, class int) int {
 // linkLatencyOf returns the latency of the directed link leaving router id
 // through port p, in cycles: a single dense-array read on the switch
 // traversal hot path.
-func (n *Network) linkLatencyOf(id int, p mesh.Direction) int {
-	return n.linkLat[id*mesh.NumDirections+int(p)]
+func (n *Network) linkLatencyOf(id, p int) int {
+	return n.linkLat[id*n.P+p]
 }
 
 // SetLinkLatency overrides the latency of the directed link from router a
@@ -926,13 +1016,14 @@ func (n *Network) SetLinkLatency(a, b, cycles int) error {
 	if cycles < 1 {
 		return fmt.Errorf("noc: link latency %d < 1", cycles)
 	}
-	if a < 0 || a >= n.m.Nodes() || b < 0 || b >= n.m.Nodes() {
-		return fmt.Errorf("noc: link %d->%d outside mesh", a, b)
+	if a < 0 || a >= n.nodes || b < 0 || b >= n.nodes {
+		return fmt.Errorf("noc: link %d->%d outside %s", a, b, n.tp.Name())
 	}
-	if n.m.HammingID(a, b) != 1 {
+	p := n.tp.PortTo(a, b)
+	if p < 0 {
 		return fmt.Errorf("noc: %d and %d are not linked", a, b)
 	}
-	n.linkLat[a*mesh.NumDirections+int(n.m.DirectionTo(a, b))] = cycles
+	n.linkLat[a*n.P+p] = cycles
 	return nil
 }
 

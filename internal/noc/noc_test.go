@@ -7,6 +7,7 @@ import (
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/routing"
 	"nocsprint/internal/sprint"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 )
 
@@ -135,7 +136,7 @@ func TestInOrderDeliveryPerPair(t *testing.T) {
 func TestLatencyRisesWithLoad(t *testing.T) {
 	cfg := DefaultConfig()
 	m := mesh.New(4, 4)
-	set := traffic.NewSet(allNodes(16))
+	set := traffic.NewSet(topo.AllNodes(16))
 	pattern := traffic.NewUniform(16)
 	var lats []float64
 	for _, rate := range []float64{0.02, 0.15, 0.30} {
@@ -173,7 +174,7 @@ func TestThroughputTracksOfferedLoadBelowSaturation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunSynthetic(net, traffic.NewSet(allNodes(16)), traffic.NewUniform(16), SimParams{
+		res, err := RunSynthetic(net, traffic.NewSet(topo.AllNodes(16)), traffic.NewUniform(16), SimParams{
 			InjectionRate: rate, WarmupCycles: 1000, MeasureCycles: 4000, DrainCycles: 40000, Seed: 2,
 		})
 		if err != nil {
@@ -195,7 +196,7 @@ func TestSaturationDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunSynthetic(net, traffic.NewSet(allNodes(16)), traffic.NewUniform(16), SimParams{
+	res, err := RunSynthetic(net, traffic.NewSet(topo.AllNodes(16)), traffic.NewUniform(16), SimParams{
 		InjectionRate: 0.95, WarmupCycles: 500, MeasureCycles: 2000, DrainCycles: 3000, Seed: 3,
 	})
 	if err != nil {
@@ -302,7 +303,7 @@ func TestSelfTrafficDelivered(t *testing.T) {
 func TestRunSyntheticParamValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	net := fullNet(t, cfg)
-	set := traffic.NewSet(allNodes(16))
+	set := traffic.NewSet(topo.AllNodes(16))
 	if _, err := RunSynthetic(net, set, traffic.NewUniform(16), SimParams{InjectionRate: -1}); err == nil {
 		t.Error("negative rate accepted")
 	}
@@ -322,7 +323,7 @@ func TestDeterministicRuns(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunSynthetic(net, traffic.NewSet(allNodes(16)), traffic.NewUniform(16), SimParams{
+		res, err := RunSynthetic(net, traffic.NewSet(topo.AllNodes(16)), traffic.NewUniform(16), SimParams{
 			InjectionRate: 0.2, WarmupCycles: 500, MeasureCycles: 2000, DrainCycles: 20000, Seed: 99,
 		})
 		if err != nil {
@@ -346,14 +347,6 @@ func TestFlitTypeHelpers(t *testing.T) {
 	if Head.String() != "head" || FlitType(9).String() == "" {
 		t.Error("flit type names wrong")
 	}
-}
-
-func allNodes(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 func TestSetLinkLatencyValidation(t *testing.T) {
@@ -567,7 +560,7 @@ func TestInvariantsUnderRandomTraffic(t *testing.T) {
 				endpoints = region.ActiveNodes()
 			} else {
 				net, err = New(cfg, routing.NewDOR(m), nil)
-				endpoints = allNodes(16)
+				endpoints = topo.AllNodes(16)
 			}
 			if err != nil {
 				t.Fatal(err)

@@ -82,8 +82,8 @@ func (n *Network) fabricEmpty() bool {
 		if n.routers[id].occupancy() != 0 {
 			return false
 		}
-		for p := range n.inbox[id] {
-			if len(n.inbox[id][p]) != 0 {
+		for p := 0; p < n.P; p++ {
+			if len(n.inbox[id*n.P+p]) != 0 {
 				return false
 			}
 		}
@@ -124,10 +124,10 @@ func (n *Network) Reconfigure(activeNodes []int, alg routing.Algorithm, drainBud
 	if drainBudget < 1 {
 		return ReconfigReport{}, fmt.Errorf("noc: drain budget %d < 1", drainBudget)
 	}
-	newSet := make([]bool, n.m.Nodes())
+	newSet := make([]bool, n.nodes)
 	for _, id := range activeNodes {
-		if id < 0 || id >= n.m.Nodes() {
-			return ReconfigReport{}, fmt.Errorf("noc: active node %d outside mesh", id)
+		if id < 0 || id >= n.nodes {
+			return ReconfigReport{}, fmt.Errorf("noc: active node %d outside topology", id)
 		}
 		newSet[id] = true
 	}
@@ -150,7 +150,7 @@ func (n *Network) Reconfigure(activeNodes []int, alg routing.Algorithm, drainBud
 
 	// Retiring nodes stop consuming traffic the moment the fault is acted
 	// on: flits reaching them during the drain are sunk as dropped.
-	n.dropDst = make([]bool, n.m.Nodes())
+	n.dropDst = make([]bool, n.nodes)
 	for id, r := range n.routers {
 		if r.active && !newSet[id] {
 			n.dropDst[id] = true

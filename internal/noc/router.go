@@ -3,7 +3,7 @@ package noc
 import (
 	"fmt"
 
-	"nocsprint/internal/mesh"
+	"nocsprint/internal/topo"
 )
 
 // vcState tracks an input VC through the router pipeline.
@@ -17,11 +17,11 @@ const (
 )
 
 // inputVC is one virtual channel on one input port: a flit FIFO plus
-// pipeline state.
+// pipeline state. outPort is a topology port index (topo.Local for eject).
 type inputVC struct {
 	buf     []flit
 	state   vcState
-	outPort mesh.Direction
+	outPort int
 	outVC   int
 }
 
@@ -83,20 +83,22 @@ func (e Events) Sub(o Events) Events {
 	}
 }
 
-// router is one mesh router: 5 ports (Local + NESW), each with VCs.
+// router is one NoC router: the topology's port count (Local plus one per
+// link), each port with VCs. All per-port state is degree-parameterized, so
+// the same router serves the mesh, the torus, and the circulant.
 type router struct {
 	id     int
 	active bool
-	in     [mesh.NumDirections][]inputVC
-	out    [mesh.NumDirections][]outputVC
+	in     [][]inputVC
+	out    [][]outputVC
 	// downstream[p] is the router id reached through output port p, or -1
-	// for Local and mesh edges.
-	downstream [mesh.NumDirections]int
+	// for Local and absent links (mesh edges).
+	downstream []int
 	// Round-robin pointers: saPtr/vaPtr index the flattened (port,vc)
 	// requester space per output port; vaVCPtr indexes output VCs.
-	saPtr   [mesh.NumDirections]int
-	vaPtr   [mesh.NumDirections]int
-	vaVCPtr [mesh.NumDirections]int
+	saPtr   []int
+	vaPtr   []int
+	vaVCPtr []int
 	events  Events
 	// busyVCs counts input VCs not in vcIdle (incremented when a head flit
 	// claims a VC, decremented when its tail departs): the O(1) "any packet
@@ -104,21 +106,26 @@ type router struct {
 	busyVCs int
 }
 
-func newRouter(id int, cfg Config, m mesh.Mesh, active bool) *router {
-	r := &router{id: id, active: active}
-	for p := 0; p < mesh.NumDirections; p++ {
+func newRouter(id int, cfg Config, tp topo.Topology, active bool) *router {
+	P := tp.Ports()
+	r := &router{
+		id:         id,
+		active:     active,
+		in:         make([][]inputVC, P),
+		out:        make([][]outputVC, P),
+		downstream: make([]int, P),
+		saPtr:      make([]int, P),
+		vaPtr:      make([]int, P),
+		vaVCPtr:    make([]int, P),
+	}
+	for p := 0; p < P; p++ {
 		r.in[p] = make([]inputVC, cfg.VCs)
 		r.out[p] = make([]outputVC, cfg.VCs)
 		for v := range r.in[p] {
 			r.in[p][v].buf = make([]flit, 0, cfg.BufferDepth)
 			r.out[p][v].credits = cfg.BufferDepth
 		}
-		r.downstream[p] = -1
-		if d := mesh.Direction(p); d != mesh.Local {
-			if nb, ok := m.Neighbor(id, d); ok {
-				r.downstream[p] = nb
-			}
-		}
+		r.downstream[p] = tp.Neighbor(id, p)
 	}
 	return r
 }
@@ -126,8 +133,8 @@ func newRouter(id int, cfg Config, m mesh.Mesh, active bool) *router {
 // hasCredit reports whether output (port,vc) can accept a flit. Ejection
 // (Local) is never back-pressured: the network interface consumes flits as
 // they arrive.
-func (r *router) hasCredit(p mesh.Direction, vc int) bool {
-	if p == mesh.Local {
+func (r *router) hasCredit(p, vc int) bool {
+	if p == topo.Local {
 		return true
 	}
 	return r.out[p][vc].credits > 0

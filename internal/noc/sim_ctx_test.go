@@ -9,6 +9,7 @@ import (
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/routing"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 )
 
@@ -20,7 +21,7 @@ func newCtxTestNet(t *testing.T) (*Network, *traffic.Set) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return net, traffic.NewSet(allNodes(cfg.Nodes()))
+	return net, traffic.NewSet(topo.AllNodes(cfg.Nodes()))
 }
 
 func TestRunSyntheticPreCancelled(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/routing"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 )
 
@@ -27,7 +28,7 @@ func runDrainTest(t *testing.T, drain int) Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	set := traffic.NewSet(allNodes(cfg.Nodes()))
+	set := traffic.NewSet(topo.AllNodes(cfg.Nodes()))
 	res, err := RunSynthetic(net, set, traffic.NewUniform(cfg.Nodes()), drainTestParams(drain))
 	if err != nil {
 		t.Fatal(err)

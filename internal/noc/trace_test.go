@@ -11,6 +11,7 @@ import (
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/routing"
+	"nocsprint/internal/topo"
 	"nocsprint/internal/traffic"
 )
 
@@ -123,7 +124,7 @@ func TestReadTraceRejectsGarbageAndDisorder(t *testing.T) {
 }
 
 func TestGenerateTraceValidation(t *testing.T) {
-	set := traffic.NewSet(allNodes(16))
+	set := traffic.NewSet(topo.AllNodes(16))
 	if _, err := GenerateTrace(set, traffic.NewUniform(4), 0.1, 5, 100, 1); err == nil {
 		t.Error("mismatched pattern accepted")
 	}
@@ -141,7 +142,7 @@ func TestGenerateTraceValidation(t *testing.T) {
 func TestReplayMatchesLiveRun(t *testing.T) {
 	cfg := DefaultConfig()
 	m := mesh.New(4, 4)
-	set := traffic.NewSet(allNodes(16))
+	set := traffic.NewSet(topo.AllNodes(16))
 	pattern := traffic.NewUniform(16)
 	const (
 		rate   = 0.15

@@ -184,7 +184,7 @@ type Collector struct {
 // newCollector builds a collector for net; cfg must have been validated.
 func newCollector(cfg Config, label string, net *noc.Network) *Collector {
 	cfg = cfg.withDefaults()
-	routers := net.Mesh().Nodes()
+	routers := net.Topo().Nodes()
 	c := &Collector{
 		label:     label,
 		interval:  int64(cfg.Interval),

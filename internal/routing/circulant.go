@@ -1,0 +1,81 @@
+package routing
+
+import (
+	"fmt"
+
+	"nocsprint/internal/topo"
+)
+
+// RingCirculant is greedy shortest-way routing on the ring circulant
+// C(n; 1, s2), after the ring-circulant NoC routing studied by Romanov: a
+// packet first picks the rotation direction with the shorter ring distance
+// (ties broken clockwise), then greedily takes the long +-s2 chord while
+// the remaining ring distance is at least s2, and walks the +-1 ring links
+// for the remainder. The chord never overshoots, so the ring distance to
+// the destination decreases strictly every hop and the direction choice is
+// stable along the whole path.
+//
+// Deadlock freedom uses the same dateline VC policy as the torus rings:
+// class 0 while the remaining path still wraps past node 0 (in either
+// rotation direction), class 1 after. Clockwise and counter-clockwise
+// channels are physically disjoint ports, a path never changes direction,
+// and within each (direction, class) set node indices are strictly
+// monotone — so the extended channel-dependency graph is acyclic, which
+// the property tests verify per instance.
+type RingCirculant struct {
+	t *topo.Circulant
+}
+
+// NewRingCirculant returns greedy ring routing for t. The short stride
+// must be 1: the greedy chord-then-ring walk relies on unit steps to cover
+// every residue without overshooting.
+func NewRingCirculant(t *topo.Circulant) (*RingCirculant, error) {
+	if t.S1() != 1 {
+		return nil, fmt.Errorf("routing: ring-circulant routing needs s1 = 1, got %s", t.Name())
+	}
+	return &RingCirculant{t: t}, nil
+}
+
+// Name implements Algorithm.
+func (a *RingCirculant) Name() string { return fmt.Sprintf("ring-%s", a.t.Name()) }
+
+// NextPort implements Algorithm.
+func (a *RingCirculant) NextPort(cur, dst int) (int, error) {
+	n, s2 := a.t.N(), a.t.S2()
+	if cur < 0 || cur >= n || dst < 0 || dst >= n {
+		return topo.Local, fmt.Errorf("routing: ring-circulant pair %d->%d outside %s", cur, dst, a.t.Name())
+	}
+	if cur == dst {
+		return topo.Local, nil
+	}
+	d := dst - cur
+	if d < 0 {
+		d += n
+	}
+	if 2*d <= n { // clockwise
+		if d >= s2 {
+			return topo.PortPlusS2, nil
+		}
+		return topo.PortPlusS1, nil
+	}
+	e := n - d // counter-clockwise distance
+	if e >= s2 {
+		return topo.PortMinusS2, nil
+	}
+	return topo.PortMinusS1, nil
+}
+
+// VCClasses implements VCPolicy.
+func (a *RingCirculant) VCClasses() int { return 2 }
+
+// VCClass implements VCPolicy: dateline class on the ring, shared by the
+// +-1 and +-s2 links of the chosen rotation direction.
+func (a *RingCirculant) VCClass(cur, dst int) int {
+	if cur == dst {
+		return 0
+	}
+	return ringClass(cur, dst, a.t.N())
+}
+
+var _ Algorithm = (*RingCirculant)(nil)
+var _ VCPolicy = (*RingCirculant)(nil)

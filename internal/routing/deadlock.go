@@ -4,13 +4,18 @@ import (
 	"fmt"
 
 	"nocsprint/internal/mesh"
+	"nocsprint/internal/topo"
 )
 
-// channel identifies a directed physical link from router "from" to router
-// "to". Injection/ejection (Local) channels cannot participate in cyclic
-// dependencies and are excluded, per standard channel-dependency analysis.
+// channel identifies one directed physical link — the output port of one
+// router — within one VC class. Injection/ejection (Local) channels cannot
+// participate in cyclic dependencies and are excluded, per standard
+// channel-dependency analysis. For algorithms without a VCPolicy the class
+// is always 0 and the graph reduces to the classic link-level CDG; for
+// dateline algorithms (torus, ring circulant) the class split is exactly
+// what breaks the ring cycles, so the analysis must see it.
 type channel struct {
-	from, to int
+	node, port, class int
 }
 
 // DependencyGraph is the channel-dependency graph (CDG) induced by a routing
@@ -21,13 +26,19 @@ type DependencyGraph struct {
 }
 
 // BuildDependencyGraph routes every (src,dst) pair among routable under alg
-// and records every consecutive channel pair along each path.
-func BuildDependencyGraph(m mesh.Mesh, alg Algorithm, routable []int) (*DependencyGraph, error) {
+// on topology t and records every consecutive channel pair along each path.
+// When alg implements VCPolicy, channels are split by VC class, matching
+// the simulator's restricted VC allocation.
+func BuildDependencyGraph(t topo.Topology, alg Algorithm, routable []int) (*DependencyGraph, error) {
 	if routable == nil {
-		routable = make([]int, m.Nodes())
-		for i := range routable {
-			routable[i] = i
+		routable = topo.AllNodes(t.Nodes())
+	}
+	vcp, _ := alg.(VCPolicy)
+	classOf := func(cur, dst int) int {
+		if vcp == nil {
+			return 0
 		}
+		return vcp.VCClass(cur, dst)
 	}
 	g := &DependencyGraph{adj: make(map[channel]map[channel]bool)}
 	for _, src := range routable {
@@ -35,13 +46,21 @@ func BuildDependencyGraph(m mesh.Mesh, alg Algorithm, routable []int) (*Dependen
 			if src == dst {
 				continue
 			}
-			path, err := Path(m, alg, src, dst)
+			path, err := Path(t, alg, src, dst)
 			if err != nil {
 				return nil, fmt.Errorf("routing: CDG build: %w", err)
 			}
 			for i := 0; i+2 < len(path); i++ {
-				c1 := channel{path[i], path[i+1]}
-				c2 := channel{path[i+1], path[i+2]}
+				p1, err := alg.NextPort(path[i], dst)
+				if err != nil {
+					return nil, fmt.Errorf("routing: CDG build: %w", err)
+				}
+				p2, err := alg.NextPort(path[i+1], dst)
+				if err != nil {
+					return nil, fmt.Errorf("routing: CDG build: %w", err)
+				}
+				c1 := channel{path[i], p1, classOf(path[i], dst)}
+				c2 := channel{path[i+1], p2, classOf(path[i+1], dst)}
 				if g.adj[c1] == nil {
 					g.adj[c1] = make(map[channel]bool)
 				}
@@ -106,6 +125,27 @@ func (g *DependencyGraph) HasCycle() bool {
 	return false
 }
 
+// CollapseClasses returns a copy of the graph with the VC-class split
+// erased: channels that differ only by class merge into one. For a
+// dateline algorithm this is the CDG the network would have on a single VC
+// class — cyclic on any wrapping ring — so comparing HasCycle before and
+// after collapsing demonstrates the class split is what buys deadlock
+// freedom.
+func (g *DependencyGraph) CollapseClasses() *DependencyGraph {
+	flat := func(c channel) channel { return channel{node: c.node, port: c.port} }
+	out := &DependencyGraph{adj: make(map[channel]map[channel]bool, len(g.adj))}
+	for c, outs := range g.adj {
+		fc := flat(c)
+		if out.adj[fc] == nil {
+			out.adj[fc] = make(map[channel]bool, len(outs))
+		}
+		for d := range outs {
+			out.adj[fc][flat(d)] = true
+		}
+	}
+	return out
+}
+
 // Turn classifies a pair of consecutive hop directions, e.g. "NE" for a
 // packet travelling North that turns East.
 type Turn struct {
@@ -134,21 +174,20 @@ func (t Turn) String() string {
 // TurnsUsed routes every pair among routable and returns the set of turns
 // (direction changes) the algorithm performs, useful for turn-model
 // reasoning about deadlock freedom: e.g. plain DOR uses only {EN, ES, WN,
-// WS}; CDOR adds NE but never WN-after-NE cycles.
+// WS}; CDOR adds NE but never WN-after-NE cycles. Turns are a mesh notion,
+// so this helper stays mesh-specific.
 func TurnsUsed(m mesh.Mesh, alg Algorithm, routable []int) (map[Turn]int, error) {
 	if routable == nil {
-		routable = make([]int, m.Nodes())
-		for i := range routable {
-			routable[i] = i
-		}
+		routable = topo.AllNodes(m.Nodes())
 	}
+	t := topo.FromMesh(m)
 	turns := make(map[Turn]int)
 	for _, src := range routable {
 		for _, dst := range routable {
 			if src == dst {
 				continue
 			}
-			path, err := Path(m, alg, src, dst)
+			path, err := Path(t, alg, src, dst)
 			if err != nil {
 				return nil, err
 			}

@@ -23,7 +23,7 @@ func TestDORPortLogicMatchesBehavioral(t *testing.T) {
 			if err != nil {
 				t.Fatalf("cur=%d dst=%d: %v", cur, dst, err)
 			}
-			if got != want {
+			if int(got) != want {
 				t.Fatalf("cur=%d dst=%d: circuit %v, behavioral %v", cur, dst, got, want)
 			}
 		}
@@ -54,7 +54,7 @@ func TestCDORPortLogicMatchesBehavioral(t *testing.T) {
 					if err != nil {
 						t.Fatalf("master=%d level=%d cur=%d dst=%d: %v", master, level, cur, dst, err)
 					}
-					if got != want {
+					if int(got) != want {
 						t.Fatalf("master=%d level=%d cur=%d dst=%d: circuit %v, behavioral %v",
 							master, level, cur, dst, got, want)
 					}

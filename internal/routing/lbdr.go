@@ -5,6 +5,7 @@ import (
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/sprint"
+	"nocsprint/internal/topo"
 )
 
 // LBDR is Logic-Based Distributed Routing (Flich, Rodrigo, Duato — the
@@ -104,12 +105,12 @@ func (l *LBDR) Name() string { return fmt.Sprintf("LBDR(level=%d)", l.region.Lev
 // NextPort implements Algorithm using only the twelve per-switch bits and
 // the destination offset, per the LBDR combinational function with
 // horizontal-first selection.
-func (l *LBDR) NextPort(cur, dst int) (mesh.Direction, error) {
+func (l *LBDR) NextPort(cur, dst int) (int, error) {
 	if !l.region.Active(cur) {
-		return mesh.Local, fmt.Errorf("routing: LBDR at dark node %d", cur)
+		return topo.Local, fmt.Errorf("routing: LBDR at dark node %d", cur)
 	}
 	if !l.region.Active(dst) {
-		return mesh.Local, fmt.Errorf("routing: LBDR destination %d is dark", dst)
+		return topo.Local, fmt.Errorf("routing: LBDR destination %d is dark", dst)
 	}
 	m := l.region.Mesh()
 	cc, tc := m.Coord(cur), m.Coord(dst)
@@ -118,7 +119,7 @@ func (l *LBDR) NextPort(cur, dst int) (mesh.Direction, error) {
 	sp := tc.Y > cc.Y // S'
 	wp := tc.X < cc.X // W'
 	if !np && !ep && !sp && !wp {
-		return mesh.Local, nil
+		return topo.Local, nil
 	}
 	b := l.bits[cur]
 	// LBDR output functions.
@@ -130,15 +131,15 @@ func (l *LBDR) NextPort(cur, dst int) (mesh.Direction, error) {
 	// escape — the same preference CDOR hardwires.
 	switch {
 	case outE:
-		return mesh.East, nil
+		return int(mesh.East), nil
 	case outW:
-		return mesh.West, nil
+		return int(mesh.West), nil
 	case outN:
-		return mesh.North, nil
+		return int(mesh.North), nil
 	case outS:
-		return mesh.South, nil
+		return int(mesh.South), nil
 	default:
-		return mesh.Local, fmt.Errorf("routing: LBDR has no productive output at %d toward %d", cur, dst)
+		return topo.Local, fmt.Errorf("routing: LBDR has no productive output at %d toward %d", cur, dst)
 	}
 }
 

@@ -2,8 +2,11 @@
 // dimension-order (X-Y) routing for full meshes, and CDOR — Convex
 // Dimension-Order Routing (Algorithm 2) — which routes inside the convex
 // active region produced by topological sprinting using two connectivity
-// bits per router. It also provides a channel-dependency-graph deadlock
-// checker used to validate deadlock freedom.
+// bits per router. Algorithms are topology-generic: they speak the port
+// space of internal/topo, so the same interface also carries the torus and
+// ring-circulant routers. The package also provides a
+// channel-dependency-graph deadlock checker used to validate deadlock
+// freedom.
 package routing
 
 import (
@@ -11,16 +14,35 @@ import (
 
 	"nocsprint/internal/mesh"
 	"nocsprint/internal/sprint"
+	"nocsprint/internal/topo"
 )
 
-// Algorithm decides, at each router, the output port for a packet.
+// Algorithm decides, at each router, the output port for a packet. Ports
+// are topology port indices (see internal/topo): topo.Local (0) ejects, and
+// ports 1..Ports()-1 are network links. Mesh algorithms use the
+// mesh.Direction numbering, which is the mesh topology's port numbering.
 type Algorithm interface {
-	// NextPort returns the output direction a packet destined to dst takes
-	// at router cur. It returns mesh.Local when cur == dst. It returns an
+	// NextPort returns the output port a packet destined to dst takes at
+	// router cur. It returns topo.Local when cur == dst. It returns an
 	// error if the pair is not routable (e.g. a dark node under CDOR).
-	NextPort(cur, dst int) (mesh.Direction, error)
+	NextPort(cur, dst int) (int, error)
 	// Name identifies the algorithm in reports.
 	Name() string
+}
+
+// VCPolicy is implemented by algorithms that are only deadlock-free when
+// the virtual channels of each message class are partitioned into classes —
+// the dateline scheme rings and tori need. The simulator consults the
+// policy during VC allocation: a packet at cur headed to dst may only
+// acquire output VCs of class VCClass(cur, dst). Algorithms that are
+// deadlock-free on a single class (mesh DOR/CDOR) simply do not implement
+// the interface.
+type VCPolicy interface {
+	// VCClasses returns the number of VC classes the policy needs (>= 1).
+	VCClasses() int
+	// VCClass returns the class of the channel a packet at cur takes
+	// toward dst, in [0, VCClasses()). It must return 0 when cur == dst.
+	VCClass(cur, dst int) int
 }
 
 // DOR is conventional X-Y dimension-order routing on a full mesh: packets
@@ -36,19 +58,19 @@ func NewDOR(m mesh.Mesh) *DOR { return &DOR{m: m} }
 func (d *DOR) Name() string { return "DOR" }
 
 // NextPort implements Algorithm.
-func (d *DOR) NextPort(cur, dst int) (mesh.Direction, error) {
+func (d *DOR) NextPort(cur, dst int) (int, error) {
 	c, t := d.m.Coord(cur), d.m.Coord(dst)
 	switch {
 	case t.X > c.X:
-		return mesh.East, nil
+		return int(mesh.East), nil
 	case t.X < c.X:
-		return mesh.West, nil
+		return int(mesh.West), nil
 	case t.Y > c.Y:
-		return mesh.South, nil
+		return int(mesh.South), nil
 	case t.Y < c.Y:
-		return mesh.North, nil
+		return int(mesh.North), nil
 	default:
-		return mesh.Local, nil
+		return topo.Local, nil
 	}
 }
 
@@ -89,67 +111,67 @@ func (c *CDOR) Region() *sprint.Region { return c.region }
 func (c *CDOR) Name() string { return fmt.Sprintf("CDOR(level=%d)", c.region.Level()) }
 
 // NextPort implements Algorithm. Both cur and dst must be active nodes.
-func (c *CDOR) NextPort(cur, dst int) (mesh.Direction, error) {
+func (c *CDOR) NextPort(cur, dst int) (int, error) {
 	if !c.region.Active(cur) {
-		return mesh.Local, fmt.Errorf("routing: CDOR at dark node %d", cur)
+		return topo.Local, fmt.Errorf("routing: CDOR at dark node %d", cur)
 	}
 	if !c.region.Active(dst) {
-		return mesh.Local, fmt.Errorf("routing: CDOR destination %d is dark", dst)
+		return topo.Local, fmt.Errorf("routing: CDOR destination %d is dark", dst)
 	}
 	m := c.region.Mesh()
 	cc, tc := m.Coord(cur), m.Coord(dst)
 	switch {
 	case tc.X > cc.X:
 		if c.region.Connected(cur, mesh.East) {
-			return mesh.East, nil
+			return int(mesh.East), nil
 		}
 		return c.escapePort(cur)
 	case tc.X < cc.X:
 		if c.region.Connected(cur, mesh.West) {
-			return mesh.West, nil
+			return int(mesh.West), nil
 		}
 		return c.escapePort(cur)
 	case tc.Y > cc.Y:
-		return mesh.South, nil
+		return int(mesh.South), nil
 	case tc.Y < cc.Y:
-		return mesh.North, nil
+		return int(mesh.North), nil
 	default:
-		return mesh.Local, nil
+		return topo.Local, nil
 	}
 }
 
-func (c *CDOR) escapePort(cur int) (mesh.Direction, error) {
+func (c *CDOR) escapePort(cur int) (int, error) {
 	cc := c.region.Mesh().Coord(cur)
 	escape := mesh.North
 	if cc.Y < c.masterY {
 		escape = mesh.South
 	} else if cc.Y == c.masterY {
-		return mesh.Local, fmt.Errorf("routing: CDOR stuck at node %d: horizontal link dark on the master row", cur)
+		return topo.Local, fmt.Errorf("routing: CDOR stuck at node %d: horizontal link dark on the master row", cur)
 	}
 	if c.region.Connected(cur, escape) {
-		return escape, nil
+		return int(escape), nil
 	}
-	return mesh.Local, fmt.Errorf("routing: CDOR stuck at node %d: horizontal link dark and no %v escape", cur, escape)
+	return topo.Local, fmt.Errorf("routing: CDOR stuck at node %d: horizontal link dark and no %v escape", cur, escape)
 }
 
 // Path returns the node sequence (inclusive of endpoints) a packet follows
-// from src to dst under alg. It errors if the route does not terminate
-// within nodes*4 hops, which would indicate a routing livelock.
-func Path(m mesh.Mesh, alg Algorithm, src, dst int) ([]int, error) {
+// from src to dst under alg on topology t. It errors if the route does not
+// terminate within nodes*4 hops, which would indicate a routing livelock.
+func Path(t topo.Topology, alg Algorithm, src, dst int) ([]int, error) {
 	path := []int{src}
 	cur := src
-	maxHops := m.Nodes() * 4
+	maxHops := t.Nodes() * 4
 	for cur != dst {
-		d, err := alg.NextPort(cur, dst)
+		p, err := alg.NextPort(cur, dst)
 		if err != nil {
 			return nil, err
 		}
-		if d == mesh.Local {
+		if p == topo.Local {
 			return nil, fmt.Errorf("routing: %s ejects at %d before reaching %d", alg.Name(), cur, dst)
 		}
-		next, ok := m.Neighbor(cur, d)
-		if !ok {
-			return nil, fmt.Errorf("routing: %s routes off-mesh at %d toward %v", alg.Name(), cur, d)
+		next := t.Neighbor(cur, p)
+		if next < 0 {
+			return nil, fmt.Errorf("routing: %s routes off-topology at %d through port %s", alg.Name(), cur, t.PortName(p))
 		}
 		cur = next
 		path = append(path, cur)
@@ -164,35 +186,32 @@ func Path(m mesh.Mesh, alg Algorithm, src, dst int) ([]int, error) {
 // pair. The NoC simulator uses it on the hot path instead of recomputing
 // routes per flit; building it also validates every pair terminates.
 type Table struct {
-	m     mesh.Mesh
+	t     topo.Topology
 	name  string
 	nodes []int // routable node ids
-	port  []mesh.Direction
+	port  []int
 	ok    []bool
 }
 
 // BuildTable precomputes alg over all pairs of nodes in routable (or all
-// mesh nodes if routable is nil). Pairs that alg cannot route are marked
+// nodes of t if routable is nil). Pairs that alg cannot route are marked
 // unreachable rather than failing the build, but every routable pair is
 // verified to terminate.
-func BuildTable(m mesh.Mesh, alg Algorithm, routable []int) (*Table, error) {
+func BuildTable(tp topo.Topology, alg Algorithm, routable []int) (*Table, error) {
 	if routable == nil {
-		routable = make([]int, m.Nodes())
-		for i := range routable {
-			routable[i] = i
-		}
+		routable = topo.AllNodes(tp.Nodes())
 	}
-	n := m.Nodes()
+	n := tp.Nodes()
 	t := &Table{
-		m:     m,
+		t:     tp,
 		name:  alg.Name(),
 		nodes: append([]int(nil), routable...),
-		port:  make([]mesh.Direction, n*n),
+		port:  make([]int, n*n),
 		ok:    make([]bool, n*n),
 	}
 	for _, src := range routable {
 		for _, dst := range routable {
-			if _, err := Path(m, alg, src, dst); err != nil {
+			if _, err := Path(tp, alg, src, dst); err != nil {
 				return nil, fmt.Errorf("routing: table build %s pair %d->%d: %w", alg.Name(), src, dst, err)
 			}
 		}
@@ -218,10 +237,10 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Nodes() []int { return append([]int(nil), t.nodes...) }
 
 // NextPort implements Algorithm using the precomputed table.
-func (t *Table) NextPort(cur, dst int) (mesh.Direction, error) {
-	idx := cur*t.m.Nodes() + dst
+func (t *Table) NextPort(cur, dst int) (int, error) {
+	idx := cur*t.t.Nodes() + dst
 	if !t.ok[idx] {
-		return mesh.Local, fmt.Errorf("routing: table %s has no route %d->%d", t.name, cur, dst)
+		return topo.Local, fmt.Errorf("routing: table %s has no route %d->%d", t.name, cur, dst)
 	}
 	return t.port[idx], nil
 }

@@ -1,0 +1,77 @@
+package topo
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+)
+
+// Mesh adapts internal/mesh to the Topology interface. Its port numbering
+// is exactly the mesh.Direction order (Local=0, North, East, South, West),
+// so a simulator built on it is bit-identical to the pre-abstraction mesh
+// simulator: same port indices, same arbiter scan order, same results.
+type Mesh struct {
+	m mesh.Mesh
+}
+
+// NewMesh returns the w×h mesh topology. Like mesh.New it panics on
+// non-positive dimensions (configuration-time programming error).
+func NewMesh(w, h int) *Mesh { return &Mesh{m: mesh.New(w, h)} }
+
+// FromMesh wraps an existing mesh geometry.
+func FromMesh(m mesh.Mesh) *Mesh { return &Mesh{m: m} }
+
+// Mesh returns the underlying mesh geometry, for callers that need
+// coordinates or mesh-specific metrics.
+func (t *Mesh) Mesh() mesh.Mesh { return t.m }
+
+// Name implements Topology.
+func (t *Mesh) Name() string { return fmt.Sprintf("%dx%d mesh", t.m.Width(), t.m.Height()) }
+
+// Nodes implements Topology.
+func (t *Mesh) Nodes() int { return t.m.Nodes() }
+
+// Ports implements Topology.
+func (t *Mesh) Ports() int { return mesh.NumDirections }
+
+// Neighbor implements Topology.
+func (t *Mesh) Neighbor(id, port int) int {
+	n, ok := t.m.Neighbor(id, mesh.Direction(port))
+	if !ok {
+		return -1
+	}
+	return n
+}
+
+// Opposite implements Topology.
+func (t *Mesh) Opposite(port int) int { return int(mesh.Direction(port).Opposite()) }
+
+// PortName implements Topology.
+func (t *Mesh) PortName(port int) string { return mesh.Direction(port).String() }
+
+// Label implements Topology.
+func (t *Mesh) Label(id int) string { return t.m.Coord(id).String() }
+
+// PortTo implements Topology.
+func (t *Mesh) PortTo(a, b int) int {
+	if a < 0 || b < 0 || a >= t.m.Nodes() || b >= t.m.Nodes() || t.m.HammingID(a, b) != 1 {
+		return -1
+	}
+	return int(t.m.DirectionTo(a, b))
+}
+
+// Links implements Topology: each mesh link once, via the East and South
+// port of its lower-ID end.
+func (t *Mesh) Links() [][2]int {
+	var out [][2]int
+	for id := 0; id < t.m.Nodes(); id++ {
+		for _, d := range [...]mesh.Direction{mesh.East, mesh.South} {
+			if n, ok := t.m.Neighbor(id, d); ok {
+				out = append(out, [2]int{id, n})
+			}
+		}
+	}
+	return out
+}
+
+var _ Topology = (*Mesh)(nil)

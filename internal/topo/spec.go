@@ -1,0 +1,80 @@
+package topo
+
+import "fmt"
+
+// Topology kinds a Spec can describe.
+const (
+	KindMesh      = "mesh"
+	KindTorus     = "torus"
+	KindCirculant = "circulant"
+)
+
+// Spec is a serializable topology description. Experiment sweeps carry
+// Specs instead of live Topology values so the topology enters the
+// checkpoint key of every point: a journal recorded for one topology can
+// never satisfy a sweep over another.
+type Spec struct {
+	// Kind selects the implementation: "mesh", "torus", or "circulant".
+	Kind string
+	// W, H are the dimensions of a mesh or torus.
+	W, H int `json:",omitempty"`
+	// N, S1, S2 describe a circulant C(N; S1, S2).
+	N, S1, S2 int `json:",omitempty"`
+}
+
+// MeshSpec describes a w×h mesh.
+func MeshSpec(w, h int) Spec { return Spec{Kind: KindMesh, W: w, H: h} }
+
+// TorusSpec describes a w×h torus.
+func TorusSpec(w, h int) Spec { return Spec{Kind: KindTorus, W: w, H: h} }
+
+// CirculantSpec describes the circulant C(n; s1, s2).
+func CirculantSpec(n, s1, s2 int) Spec { return Spec{Kind: KindCirculant, N: n, S1: s1, S2: s2} }
+
+// Build constructs the described topology.
+func (s Spec) Build() (Topology, error) {
+	switch s.Kind {
+	case KindMesh:
+		if s.W < 1 || s.H < 1 {
+			return nil, fmt.Errorf("topo: invalid mesh spec %dx%d", s.W, s.H)
+		}
+		return NewMesh(s.W, s.H), nil
+	case KindTorus:
+		return NewTorus(s.W, s.H)
+	case KindCirculant:
+		return NewCirculant(s.N, s.S1, s.S2)
+	default:
+		return nil, fmt.Errorf("topo: unknown topology kind %q", s.Kind)
+	}
+}
+
+// String returns a compact human-readable form, matching the built
+// topology's Name.
+func (s Spec) String() string {
+	switch s.Kind {
+	case KindMesh:
+		return fmt.Sprintf("%dx%d mesh", s.W, s.H)
+	case KindTorus:
+		return fmt.Sprintf("%dx%d torus", s.W, s.H)
+	case KindCirculant:
+		return fmt.Sprintf("C(%d;%d,%d)", s.N, s.S1, s.S2)
+	default:
+		return fmt.Sprintf("Spec(%q)", s.Kind)
+	}
+}
+
+// CutLinks counts the links crossing the index cut {0..n/2-1} versus
+// {n/2..n-1}. For row-major meshes and tori with even height this is the
+// horizontal mid-line cut — the standard bisection — and for circulants it
+// is the natural ring bisection; the topology comparison experiment uses it
+// to report wiring cost alongside performance.
+func CutLinks(t Topology) int {
+	half := t.Nodes() / 2
+	cut := 0
+	for _, l := range t.Links() {
+		if (l[0] < half) != (l[1] < half) {
+			cut++
+		}
+	}
+	return cut
+}

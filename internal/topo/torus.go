@@ -1,0 +1,98 @@
+package topo
+
+import (
+	"fmt"
+
+	"nocsprint/internal/mesh"
+)
+
+// Torus is a w×h 2D torus: the mesh with wraparound links in both
+// dimensions. It reuses the mesh port numbering (Local, North, East, South,
+// West) and row-major node IDs; only the edge ports differ, wrapping to the
+// opposite edge instead of dangling. Every router therefore has full degree
+// 4, and the bisection width doubles relative to the equal-sized mesh.
+type Torus struct {
+	w, h int
+}
+
+// NewTorus returns the w×h torus. Both dimensions must be at least 2 so
+// that every wraparound link connects distinct routers; on a 2-wide ring
+// the direct and wraparound links are parallel links between the same pair,
+// which the port-indexed simulator state handles correctly.
+func NewTorus(w, h int) (*Torus, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("topo: torus dimensions %dx%d, need at least 2x2", w, h)
+	}
+	return &Torus{w: w, h: h}, nil
+}
+
+// Width returns the torus width.
+func (t *Torus) Width() int { return t.w }
+
+// Height returns the torus height.
+func (t *Torus) Height() int { return t.h }
+
+// Name implements Topology.
+func (t *Torus) Name() string { return fmt.Sprintf("%dx%d torus", t.w, t.h) }
+
+// Nodes implements Topology.
+func (t *Torus) Nodes() int { return t.w * t.h }
+
+// Ports implements Topology.
+func (t *Torus) Ports() int { return mesh.NumDirections }
+
+// Neighbor implements Topology.
+func (t *Torus) Neighbor(id, port int) int {
+	x, y := id%t.w, id/t.w
+	switch mesh.Direction(port) {
+	case mesh.North:
+		y = (y - 1 + t.h) % t.h
+	case mesh.East:
+		x = (x + 1) % t.w
+	case mesh.South:
+		y = (y + 1) % t.h
+	case mesh.West:
+		x = (x - 1 + t.w) % t.w
+	default:
+		return -1
+	}
+	return y*t.w + x
+}
+
+// Opposite implements Topology.
+func (t *Torus) Opposite(port int) int { return int(mesh.Direction(port).Opposite()) }
+
+// PortName implements Topology.
+func (t *Torus) PortName(port int) string { return mesh.Direction(port).String() }
+
+// Label implements Topology.
+func (t *Torus) Label(id int) string { return fmt.Sprintf("(%d,%d)", id%t.w, id/t.w) }
+
+// PortTo implements Topology. On a 2-wide ring both the East and West port
+// of a reach b; the lower port (East) is returned.
+func (t *Torus) PortTo(a, b int) int {
+	if a < 0 || b < 0 || a >= t.Nodes() || b >= t.Nodes() {
+		return -1
+	}
+	for p := 1; p < t.Ports(); p++ {
+		if t.Neighbor(a, p) == b {
+			return p
+		}
+	}
+	return -1
+}
+
+// Links implements Topology: every router's East and South link, which
+// enumerates each ring link exactly once (and, on a 2-ring, each of the two
+// parallel links once).
+func (t *Torus) Links() [][2]int {
+	out := make([][2]int, 0, 2*t.Nodes())
+	for id := 0; id < t.Nodes(); id++ {
+		out = append(out,
+			[2]int{id, t.Neighbor(id, int(mesh.East))},
+			[2]int{id, t.Neighbor(id, int(mesh.South))})
+	}
+	return out
+}
+
+var _ Topology = (*Torus)(nil)
